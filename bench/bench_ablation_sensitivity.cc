@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Design-choice sensitivity ablations beyond the paper's figures: how
+ * decode speed responds to the page read time (tR), the slice
+ * granularity, the read-compute tile window, the NPU weight buffer
+ * (prefetch depth), and the per-grant command overhead. These are the
+ * knobs DESIGN.md calls out as modeling assumptions; the sweeps show
+ * which of them the headline results actually depend on.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace camllm;
+
+namespace {
+
+double
+speed(core::CamConfig cfg, const llm::ModelConfig &m)
+{
+    return bench::run(cfg, m).tokens_per_s;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("design-choice sensitivity (Cam-LLM-S, OPT-6.7B)");
+    const llm::ModelConfig m = llm::opt6_7b();
+    const double base = speed(core::presetS(), m);
+    std::cout << "baseline: " << Table::fmt(base, 2) << " token/s\n\n";
+
+    {
+        Table t("page read time tR (paper uses 30 us; cites a 20 us "
+                "part)");
+        t.header({"tR (us)", "token/s", "vs baseline"});
+        for (Tick tr : {20u, 25u, 30u, 40u, 60u}) {
+            core::CamConfig cfg = core::presetS();
+            cfg.flash.timing.t_read = tr * kUs;
+            double v = speed(cfg, m);
+            t.row({Table::fmtInt(tr), Table::fmt(v, 2),
+                   Table::fmtPercent(v / base - 1.0)});
+        }
+        t.print(std::cout);
+    }
+    {
+        Table t("slice granularity (Slice Control)");
+        t.header({"slice (bytes)", "token/s", "vs baseline"});
+        for (std::uint32_t s : {512u, 1024u, 2048u, 4096u, 8192u}) {
+            core::CamConfig cfg = core::presetS();
+            cfg.flash.timing.slice_bytes = s;
+            double v = speed(cfg, m);
+            t.row({Table::fmtInt(s), Table::fmt(v, 2),
+                   Table::fmtPercent(v / base - 1.0)});
+        }
+        t.print(std::cout);
+    }
+    {
+        Table t("read-compute tile window (input-buffer credit)");
+        t.header({"window", "token/s", "vs baseline"});
+        for (std::uint32_t w : {1u, 2u, 3u, 4u, 8u}) {
+            core::CamConfig cfg = core::presetS();
+            cfg.tile_window = w;
+            double v = speed(cfg, m);
+            t.row({Table::fmtInt(w), Table::fmt(v, 2),
+                   Table::fmtPercent(v / base - 1.0)});
+        }
+        t.print(std::cout);
+    }
+    {
+        Table t("NPU weight buffer (prefetch depth)");
+        t.header({"buffer (MB)", "token/s", "vs baseline"});
+        for (std::uint32_t mb : {1u, 2u, 4u, 8u, 16u}) {
+            core::CamConfig cfg = core::presetS();
+            cfg.npu.weight_buffer_bytes = std::uint64_t(mb) << 20;
+            double v = speed(cfg, m);
+            t.row({Table::fmtInt(mb), Table::fmt(v, 2),
+                   Table::fmtPercent(v / base - 1.0)});
+        }
+        t.print(std::cout);
+    }
+    {
+        Table t("per-grant command overhead");
+        t.header({"overhead (ns)", "token/s", "vs baseline"});
+        for (Tick ov : {0u, 50u, 100u, 200u, 500u}) {
+            core::CamConfig cfg = core::presetS();
+            cfg.flash.timing.grant_overhead = ov;
+            double v = speed(cfg, m);
+            t.row({Table::fmtInt(ov), Table::fmt(v, 2),
+                   Table::fmtPercent(v / base - 1.0)});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nReading: results are first-order in tR (flash is"
+                 " the pacing resource), mildly\nsensitive to slice"
+                 " size at the extremes, and robust to window, buffer"
+                 " and\ncommand-overhead choices — the headline"
+                 " numbers do not hinge on those knobs.\n";
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 1: (a) arithmetic intensity of single-batch LLM decode vs
+ * other AI workloads and hardware capability points; (b) reduction
+ * ratio of the LLM GeMV scenario vs prior in-storage-computing work.
+ */
+
+#include <iostream>
+
+#include "baselines/roofline.h"
+#include "bench_util.h"
+#include "llm/quant.h"
+
+using namespace camllm;
+
+int
+main()
+{
+    bench::banner("Fig 1(a) arithmetic intensity / Fig 1(b) reduction "
+                  "ratio");
+    const auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+
+    Table a("Fig 1(a): arithmetic intensity (INT8 OP/Byte)");
+    a.header({"workload / device", "AI or ridge", "note"});
+    a.row({"LLM decode (OPT-6.7B, single batch)",
+           Table::fmt(baselines::llmDecodeAi(llm::opt6_7b(), quant, 512),
+                      2),
+           "paper: ~2"});
+    a.row({"LLM decode (Llama2-70B, single batch)",
+           Table::fmt(baselines::llmDecodeAi(llm::llama2_70b(), quant,
+                                             512),
+                      2),
+           "paper: ~2"});
+    a.row({"LLM prefill (OPT-6.7B, 512 tokens)",
+           Table::fmt(baselines::llmPrefillAi(llm::opt6_7b(), quant, 512),
+                      0),
+           "orders of magnitude above decode"});
+    a.row({"DLRM (batch 64)",
+           Table::fmt(baselines::dlrmAi(64), 0), "paper: 30-100x LLM"});
+    a.row({"BERT-base (batch 8, seq 256)",
+           Table::fmt(baselines::bertBaseAi(8, 256), 0),
+           "paper: 30-100x LLM"});
+    a.row({"VGG-16 (batch 1)", Table::fmt(baselines::vgg16Ai(1), 0),
+           "paper: 30-100x LLM"});
+    for (const auto &d : baselines::referenceDevices()) {
+        a.row({d.name + " (ridge)", Table::fmt(d.ridge(), 0),
+               "TOPS/BW capability point"});
+    }
+    a.print(std::cout);
+
+    Table b("Fig 1(b): reduction ratio (input bytes / output bytes)");
+    b.header({"scenario", "reduction ratio", "basis"});
+    for (const auto &p : baselines::reductionRatios(4096))
+        b.row({p.workload, Table::fmt(p.reduction_ratio, 0), p.basis});
+    b.print(std::cout);
+
+    std::cout << "\nShape check: LLM decode AI ~2 is 30-100x below the"
+                 " other workloads,\nand the LLM GeMV reduction ratio is"
+                 " ~100x beyond prior ISC scenarios.\n";
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 3(a): roofline analysis — a smartphone NPU at decode AI ~2
+ * (point A) vs Cambricon-LLM, whose on-die processing raises the
+ * effective weight bandwidth by an order of magnitude (point B).
+ */
+
+#include <iostream>
+
+#include "baselines/roofline.h"
+#include "bench_util.h"
+#include "llm/quant.h"
+
+using namespace camllm;
+
+int
+main()
+{
+    bench::banner("Fig 3(a) roofline: smartphone NPU (A) -> "
+                  "Cambricon-LLM (B)");
+    const auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    const double decode_ai =
+        baselines::llmDecodeAi(llm::opt6_7b(), quant, 512);
+
+    // The effective weight-consumption bandwidth of each Cam-LLM
+    // preset, measured by the engine (flash on-die + channel reads).
+    Table t("Roofline points at decode AI");
+    t.header({"platform", "AI (OP/B)", "weight BW (GB/s)",
+              "attainable GOPS", "peak GOPS"});
+
+    baselines::Device phone{"Smartphone NPU (point A)", 2.0, 40.0};
+    t.row({phone.name, Table::fmt(decode_ai, 2),
+           Table::fmt(phone.mem_gbps, 1),
+           Table::fmt(phone.attainableGops(decode_ai), 1),
+           Table::fmt(phone.tops * 1000.0, 0)});
+
+    for (const auto &cfg : bench::presets()) {
+        auto s = bench::run(cfg, llm::opt6_7b());
+        const double weight_gbps =
+            double(s.weight_bytes_flash + s.weight_bytes_npu) /
+            double(s.token_time);
+        baselines::Device dev =
+            baselines::cambriconDevice(weight_gbps, cfg.npu.tops);
+        t.row({cfg.name + " (point B)", Table::fmt(decode_ai, 2),
+               Table::fmt(weight_gbps, 1),
+               Table::fmt(dev.attainableGops(decode_ai), 1),
+               Table::fmt(dev.tops * 1000.0, 0)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nShape check: at AI~2 the smartphone NPU attains"
+                 " ~80 GOPS of its 2000 GOPS peak;\nCambricon-LLM moves"
+                 " the memory ceiling up ~an order of magnitude"
+                 " (A -> B).\n";
+    return 0;
+}

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Figure 6: a measured channel timeline for the three Slice Control
+ * strategies on the paper's simplified configuration (one channel,
+ * one die, two planes, one compute core):
+ *   (a) read-compute requests only;
+ *   (b) read-compute requests + one monolithic read request;
+ *   (c) read-compute requests + sliced read requests (ours).
+ */
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "flash/channel_engine.h"
+#include "sim/event_queue.h"
+
+using namespace camllm;
+using namespace camllm::flash;
+
+namespace {
+
+struct Outcome
+{
+    Tick rc_done = 0; ///< completion of the read-compute stream
+    Tick end = 0;
+    double util = 0.0;
+    std::vector<ChannelBus::GrantTrace> grants;
+};
+
+struct Listener : ChannelEngine::Listener
+{
+    EventQueue *eq = nullptr;
+    Tick last_rc = 0;
+    void onRcResult(std::uint64_t) override { last_rc = eq->now(); }
+    void onReadDelivered(std::uint64_t, std::uint32_t) override {}
+};
+
+Outcome
+runStrategy(bool with_read, bool sliced)
+{
+    // The paper's simplified setup: one channel, one die. A fast
+    // demo flash (tR = 12 us, 4 KB input slices) makes the rc grant
+    // stream dense enough that a monolithic 16 KB transfer cannot
+    // hide in a bubble, exactly the situation Fig 6 illustrates.
+    FlashParams p;
+    p.geometry.channels = 1;
+    p.geometry.chips_per_channel = 1;
+    p.geometry.dies_per_chip = 1;
+    p.timing.t_read = 12 * kUs;
+
+    EventQueue eq;
+    Listener lis;
+    lis.eq = &eq;
+    ChannelEngine ce(eq, p, lis, 3, /*slice_control=*/sliced);
+    Outcome out;
+    ce.bus().setTraceHook([&](const ChannelBus::GrantTrace &g) {
+        out.grants.push_back(g);
+    });
+
+    RcTileWork tile;
+    tile.op_id = 1;
+    tile.cores_used = 1;
+    tile.input_bytes = 4096;
+    tile.out_bytes_per_core = 1024;
+    tile.compute_time = p.timing.t_read;
+    for (int i = 0; i < 4; ++i)
+        ce.submitTile(tile);
+    if (with_read)
+        for (int i = 0; i < 2; ++i)
+            ce.submitRead({2, p.geometry.page_bytes, sliced});
+
+    eq.run();
+    out.rc_done = lis.last_rc;
+    out.end = eq.now();
+    out.util = ce.bus().busy().utilization(out.end);
+    return out;
+}
+
+/** Render a coarse 100-column timeline of bus occupancy. */
+std::string
+timeline(const Outcome &o, Tick horizon)
+{
+    std::string line(100, '.');
+    for (const auto &g : o.grants) {
+        std::size_t a = std::size_t(double(g.start) / double(horizon) *
+                                    100.0);
+        std::size_t b = std::size_t(double(g.end) / double(horizon) *
+                                    100.0);
+        for (std::size_t i = a; i <= b && i < 100; ++i)
+            line[i] = (g.priority == BusPriority::High) ? '#' : '=';
+    }
+    return line;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Fig 6 channel pipeline under three Slice Control "
+                  "strategies");
+
+    Outcome a = runStrategy(false, true);
+    Outcome b = runStrategy(true, false);
+    Outcome c = runStrategy(true, true);
+    const Tick horizon = std::max({a.end, b.end, c.end});
+
+    std::cout << "legend: '#' rc input/result grant, '=' read data, "
+                 "'.' idle;\nhorizon = "
+              << horizon / 1000 << " us\n\n";
+    std::cout << "(a) 4 rc requests only            |" << timeline(a, horizon)
+              << "|\n";
+    std::cout << "(b) 4 rc + 1 unsliced read        |" << timeline(b, horizon)
+              << "|\n";
+    std::cout << "(c) 4 rc + 1 sliced read (ours)   |" << timeline(c, horizon)
+              << "|\n\n";
+
+    Table t("Fig 6 summary");
+    t.header({"strategy", "rc stream done (us)", "all done (us)",
+              "channel busy"});
+    t.row({"(a) rc only", Table::fmt(double(a.rc_done) / 1000.0, 1),
+           Table::fmt(double(a.end) / 1000.0, 1),
+           Table::fmtPercent(a.util)});
+    t.row({"(b) + unsliced reads",
+           Table::fmt(double(b.rc_done) / 1000.0, 1),
+           Table::fmt(double(b.end) / 1000.0, 1),
+           Table::fmtPercent(b.util)});
+    t.row({"(c) + sliced reads (ours)",
+           Table::fmt(double(c.rc_done) / 1000.0, 1),
+           Table::fmt(double(c.end) / 1000.0, 1),
+           Table::fmtPercent(c.util)});
+    t.print(std::cout);
+
+    std::cout << "\nShape check (paper): (c) delivers the extra read"
+                 " without extending the rc\nstream — its finish time"
+                 " aligns with (a) while (b) stretches it.\n";
+    return 0;
+}

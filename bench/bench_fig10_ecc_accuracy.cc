@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 10: accuracy under flash bit errors with and without the
+ * on-die outlier ECC, on the HellaSwag/ARC/WinoGrande proxies.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "ecc_accuracy_util.h"
+
+using namespace camllm;
+
+int
+main()
+{
+    bench::banner("Fig 10 accuracy with vs without the on-die ECC");
+    bench::AccuracyProbe probe;
+    const double bers[] = {1e-5, 1e-4, 2e-4, 8e-4, 2e-3, 8e-3};
+
+    const auto specs = bench::proxyDatasets();
+    for (std::size_t d = 0; d < specs.size(); ++d) {
+        Table t("Fig 10: " + specs[d].name + " accuracy (%)");
+        std::vector<std::string> head = {"mode", "clean"};
+        for (double b : bers)
+            head.push_back(Table::fmt(b, 5));
+        t.header(head);
+
+        for (bool ecc_on : {false, true}) {
+            std::vector<std::string> row = {
+                ecc_on ? "with err cor" : "without err cor",
+                Table::fmt(probe.accuracyAt(d, 0.0, ecc_on) * 100.0, 1)};
+            for (double b : bers)
+                row.push_back(Table::fmt(
+                    probe.accuracyAt(d, b, ecc_on) * 100.0, 1));
+            t.row(row);
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\nShape check (paper): without ECC, accuracy decays"
+                 " from ~1e-5 onward; with the\noutlier ECC most"
+                 " accuracy survives to ~2e-4 (92-95% of baseline) and"
+                 " protection\nfinally gives out above ~8e-4, because"
+                 " sub-threshold flips are unprotected.\n";
+    return 0;
+}

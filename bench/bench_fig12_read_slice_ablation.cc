@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 12: ablation of the read-request Slice Control on
+ * Cambricon-LLM-S — decode speed (a) and channel usage (b) with the
+ * feature vs with monolithic FIFO reads.
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace camllm;
+
+int
+main()
+{
+    bench::banner("Fig 12 read-request slicing ablation (Cam-LLM-S)");
+
+    Table a("Fig 12(a): decode speed (token/s)");
+    a.header({"model", "our method", "without read slice", "speedup"});
+    Table b("Fig 12(b): channel usage");
+    b.header({"model", "our method", "without read slice"});
+
+    auto models = llm::optFamily();
+    for (const auto &m : llm::llamaFamily())
+        models.push_back(m);
+    for (const auto &m : models) {
+        core::CamConfig with = core::presetS();
+        core::CamConfig without = core::presetS();
+        without.slicing = false;
+        auto rw = bench::run(with, m);
+        auto ro = bench::run(without, m);
+        a.row({m.name, Table::fmt(rw.tokens_per_s, 2),
+               Table::fmt(ro.tokens_per_s, 2),
+               Table::fmt(rw.tokens_per_s / ro.tokens_per_s, 2) + "x"});
+        b.row({m.name, Table::fmtPercent(rw.avg_channel_util, 0),
+               Table::fmtPercent(ro.avg_channel_util, 0)});
+    }
+    a.print(std::cout);
+    b.print(std::cout);
+
+    std::cout << "\nShape check (paper): slicing buys 1.6-1.8x decode"
+                 " speed and raises channel\nusage from ~50% to"
+                 " ~79-91%.\n";
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Figure 14: ablation of the hardware-aware tiling on Cam-LLM-S —
+ * decode speed (a) and channel usage (b) for the hybrid NPU+flash
+ * split vs flash-only execution (no weights offloaded to the NPU).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace camllm;
+
+int
+main()
+{
+    bench::banner("Fig 14 hardware-aware tiling ablation (Cam-LLM-S)");
+
+    Table a("Fig 14(a): decode speed (token/s)");
+    a.header({"model", "our method", "without tiling", "speedup"});
+    Table b("Fig 14(b): channel usage");
+    b.header({"model", "our method", "without tiling"});
+
+    auto models = llm::optFamily();
+    for (const auto &m : llm::llamaFamily())
+        models.push_back(m);
+    for (const auto &m : models) {
+        core::CamConfig with = core::presetS();
+        core::CamConfig without = core::presetS();
+        without.hybrid_tiling = false;
+        auto rw = bench::run(with, m);
+        auto ro = bench::run(without, m);
+        a.row({m.name, Table::fmt(rw.tokens_per_s, 2),
+               Table::fmt(ro.tokens_per_s, 2),
+               Table::fmt(rw.tokens_per_s / ro.tokens_per_s, 2) + "x"});
+        b.row({m.name, Table::fmtPercent(rw.avg_channel_util, 0),
+               Table::fmtPercent(ro.avg_channel_util, 0)});
+    }
+    a.print(std::cout);
+    b.print(std::cout);
+
+    std::cout << "\nShape check (paper): tiling buys 1.3-1.4x decode"
+                 " speed; without it the\nchannels idle at ~2-3% (only"
+                 " input/result vectors cross them).\n";
+    return 0;
+}

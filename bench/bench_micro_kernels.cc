@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the hot simulator and
+ * functional kernels: event queue, channel bus, die pipeline, tiling
+ * planner, INT8 GeMV, ECC page codec and bit-flip injection.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/presets.h"
+#include "core/tiling.h"
+#include "ecc/bitflip.h"
+#include "ecc/outlier_codec.h"
+#include "flash/channel_engine.h"
+#include "llm/kernels.h"
+#include "llm/tiny_transformer.h"
+#include "sim/event_queue.h"
+
+using namespace camllm;
+
+namespace {
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    const int n = int(state.range(0));
+    for (auto _ : state) {
+        EventQueue eq;
+        int sink = 0;
+        for (int i = 0; i < n; ++i)
+            eq.schedule(Tick(i % 997), [&] { ++sink; });
+        eq.run();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleRun)->Arg(1000)->Arg(100000);
+
+struct NullListener : flash::ChannelEngine::Listener
+{
+    void onRcResult(std::uint64_t) override {}
+    void onReadDelivered(std::uint64_t, std::uint32_t) override {}
+};
+
+void
+BM_FlashChannelRcThroughput(benchmark::State &state)
+{
+    flash::FlashParams p;
+    p.geometry.channels = 1;
+    for (auto _ : state) {
+        EventQueue eq;
+        NullListener lis;
+        flash::ChannelEngine ce(eq, p, lis);
+        flash::RcTileWork tile;
+        tile.op_id = 1;
+        tile.cores_used = p.geometry.diesPerChannel();
+        tile.input_bytes = 256;
+        tile.out_bytes_per_core = 64;
+        tile.compute_time = p.timing.t_read;
+        for (int i = 0; i < 100; ++i)
+            ce.submitTile(tile);
+        eq.run();
+        benchmark::DoNotOptimize(ce.pagesComputed());
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FlashChannelRcThroughput);
+
+void
+BM_TilingPlanner(benchmark::State &state)
+{
+    core::CamConfig cfg = core::presetL();
+    core::TilingPlanner planner(cfg.flash,
+                                llm::QuantSpec::of(llm::QuantMode::W8A8),
+                                cfg.tilingOptions());
+    std::uint64_t dim = 4096;
+    for (auto _ : state) {
+        auto plan = planner.plan(dim, dim);
+        benchmark::DoNotOptimize(plan.alpha);
+        dim = (dim % 16384) + 257;
+    }
+}
+BENCHMARK(BM_TilingPlanner);
+
+void
+BM_GemvInt8(benchmark::State &state)
+{
+    const std::uint32_t d = std::uint32_t(state.range(0));
+    llm::QTensor w(d, d, 0.01f);
+    Rng rng(1);
+    for (auto &v : w.data)
+        v = std::int8_t(rng.below(255)) ;
+    std::vector<float> x(d, 0.5f), y(d);
+    for (auto _ : state) {
+        llm::gemv(w, x, y);
+        benchmark::DoNotOptimize(y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * std::uint64_t(d) * d);
+}
+BENCHMARK(BM_GemvInt8)->Arg(128)->Arg(512);
+
+void
+BM_EccEncodePage(benchmark::State &state)
+{
+    ecc::OutlierCodec codec;
+    Rng rng(2);
+    std::vector<std::int8_t> page(16384);
+    for (auto &v : page)
+        v = std::int8_t(rng.below(255));
+    for (auto _ : state) {
+        auto blob = codec.encode(page);
+        benchmark::DoNotOptimize(blob.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_EccEncodePage);
+
+void
+BM_EccDecodePage(benchmark::State &state)
+{
+    ecc::OutlierCodec codec;
+    Rng rng(3);
+    std::vector<std::int8_t> page(16384);
+    for (auto &v : page)
+        v = std::int8_t(rng.below(255));
+    auto blob = codec.encode(page);
+    for (auto _ : state) {
+        auto copy = page;
+        codec.decode(copy, blob, nullptr);
+        benchmark::DoNotOptimize(copy.data());
+    }
+    state.SetBytesProcessed(state.iterations() * 16384);
+}
+BENCHMARK(BM_EccDecodePage);
+
+void
+BM_BitFlipInjection(benchmark::State &state)
+{
+    std::vector<std::uint8_t> buf(1 << 20);
+    Rng rng(4);
+    for (auto _ : state) {
+        auto n = ecc::injectBitFlips(buf, 1e-4, rng);
+        benchmark::DoNotOptimize(n);
+    }
+    state.SetBytesProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_BitFlipInjection);
+
+void
+BM_TinyTransformerForward(benchmark::State &state)
+{
+    llm::TinyConfig cfg;
+    llm::TinyTransformer model(cfg, 5);
+    std::vector<std::uint16_t> toks = {1, 2, 3, 4, 5, 6};
+    for (auto _ : state) {
+        auto logits = model.forward(toks);
+        benchmark::DoNotOptimize(logits.data());
+    }
+}
+BENCHMARK(BM_TinyTransformerForward);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Table I: storage density of DRAM vs NAND flash, plus the derived
+ * area argument for the chiplet design (a 200 GB NAND chip fits in a
+ * smartphone-SoC-class footprint).
+ */
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "core/cost_model.h"
+
+using namespace camllm;
+
+int
+main()
+{
+    bench::banner("Table I storage density");
+    Table t("Table I: storage density of DRAM and NAND flash");
+    t.header({"manufacturer", "type", "layers", "Gb/mm^2"});
+    double best_flash = 0.0, best_dram = 0.0;
+    for (const auto &e : core::storageDensityTable()) {
+        t.row({e.manufacturer, e.type, e.layers,
+               Table::fmt(e.gb_per_mm2, 2)});
+        if (e.type == "Flash")
+            best_flash = std::max(best_flash, e.gb_per_mm2);
+        else
+            best_dram = std::max(best_dram, e.gb_per_mm2);
+    }
+    t.print(std::cout);
+
+    std::cout << "\nflash : DRAM density ratio = "
+              << Table::fmt(best_flash / best_dram, 0)
+              << "x (paper: ~two orders of magnitude)\n";
+
+    // Area feasibility argument from Section III-B.
+    const double gb_needed = 200.0 * 8.0; // 200 GB in Gb
+    std::cout << "area of a 200 GB NAND chip at "
+              << Table::fmt(best_flash, 1)
+              << " Gb/mm^2: " << Table::fmt(gb_needed / best_flash, 0)
+              << " mm^2 (paper: ~64 mm^2, smartphone SoC ~100 mm^2)\n";
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction binaries.
+ */
+
+#ifndef CAMLLM_BENCH_BENCH_UTIL_H
+#define CAMLLM_BENCH_BENCH_UTIL_H
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "core/engine.h"
+#include "core/presets.h"
+#include "llm/model_config.h"
+
+namespace camllm::bench {
+
+/** The three Table II presets in order. */
+inline std::vector<core::CamConfig>
+presets()
+{
+    return {core::presetS(), core::presetM(), core::presetL()};
+}
+
+/** Decode one token and return the stats. */
+inline core::TokenStats
+run(const core::CamConfig &cfg, const llm::ModelConfig &model)
+{
+    return core::CambriconEngine(cfg, model).decodeToken();
+}
+
+/** Print a standard header naming the figure being reproduced. */
+inline void
+banner(const std::string &what)
+{
+    std::cout << "\n=== Cambricon-LLM reproduction: " << what
+              << " ===\n\n";
+}
+
+} // namespace camllm::bench
+
+#endif // CAMLLM_BENCH_BENCH_UTIL_H

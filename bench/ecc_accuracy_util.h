@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared harness for the accuracy-under-bit-error experiments
+ * (Fig 3b and Fig 10): a synthetic transformer stored in bit-exact
+ * flash pages, three proxy datasets matching the paper's benchmarks,
+ * and an accuracy probe under a given BER with/without the on-die ECC.
+ */
+
+#ifndef CAMLLM_BENCH_ECC_ACCURACY_UTIL_H
+#define CAMLLM_BENCH_ECC_ACCURACY_UTIL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecc/page_store.h"
+#include "llm/eval.h"
+#include "llm/tiny_transformer.h"
+
+namespace camllm::bench {
+
+/** A proxy dataset spec mirroring the paper's benchmark suite. */
+struct ProxyDataset
+{
+    std::string name;
+    std::uint32_t n_choices;
+    double clean_accuracy; ///< the paper's baseline for OPT-6.7B
+};
+
+/** HellaSwag / ARC / WinoGrande proxies (clean accuracies from the
+ *  paper's Fig 3b/Fig 10 y-intercepts). */
+inline std::vector<ProxyDataset>
+proxyDatasets()
+{
+    return {{"HellaSwag", 4, 0.67}, {"ARC", 4, 0.55},
+            {"WinoGrande", 2, 0.69}};
+}
+
+/** Fixture: one synthetic model plus its materialized datasets. */
+class AccuracyProbe
+{
+  public:
+    explicit AccuracyProbe(std::uint32_t items_per_dataset = 80,
+                           std::uint64_t seed = 20240924)
+        : seed_(seed), model_(cfg_, seed)
+    {
+        std::uint64_t ds_seed = seed + 17;
+        for (const auto &spec : proxyDatasets()) {
+            datasets_.push_back(llm::makeDataset(
+                model_, spec.name, items_per_dataset, spec.n_choices, 6,
+                spec.clean_accuracy, ds_seed++));
+        }
+    }
+
+    const std::vector<llm::EvalDataset> &datasets() const
+    {
+        return datasets_;
+    }
+
+    /**
+     * Accuracy of dataset @p ds_index after storing the weights in
+     * flash pages, flipping bits at @p ber, and reading back with or
+     * without the outlier ECC.
+     */
+    double
+    accuracyAt(std::size_t ds_index, double ber, bool ecc_on) const
+    {
+        ecc::PageStoreParams params;
+        params.ecc_enabled = ecc_on;
+        ecc::PageStore store(params);
+        store.load(model_.packWeights());
+        store.injectErrors(ber, seed_ ^ std::uint64_t(ber * 1e9) ^
+                                    (ecc_on ? 0x9e37u : 0u));
+        llm::TinyTransformer corrupted(cfg_, seed_);
+        corrupted.unpackWeights(store.readBack());
+        return llm::evaluate(corrupted, datasets_[ds_index]);
+    }
+
+  private:
+    llm::TinyConfig cfg_;
+    std::uint64_t seed_;
+    llm::TinyTransformer model_;
+    std::vector<llm::EvalDataset> datasets_;
+};
+
+} // namespace camllm::bench
+
+#endif // CAMLLM_BENCH_ECC_ACCURACY_UTIL_H

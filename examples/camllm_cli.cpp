@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Command-line driver: run any (configuration, model, quantization,
+ * phase) point of the simulator and print a full report — the tool a
+ * downstream user reaches for before scripting the C++ API.
+ *
+ * Examples:
+ *   camllm_cli --config L --model llama2-70b
+ *   camllm_cli --config custom --channels 16 --chips 8 --model opt-30b
+ *   camllm_cli --config S --model opt-6.7b --quant w4a16 --seq 1024
+ *   camllm_cli --config M --model llama2-7b --prefill 512
+ *   camllm_cli --config S --model opt-6.7b --no-slicing --no-tiling
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/args.h"
+#include "common/logging.h"
+#include "core/energy.h"
+#include "core/engine.h"
+#include "core/presets.h"
+#include "llm/model_config.h"
+
+using namespace camllm;
+
+namespace {
+
+llm::ModelConfig
+modelByName(const std::string &name)
+{
+    for (const auto &m : llm::optFamily())
+        if (m.name == name)
+            return m;
+    for (const auto &m : llm::llamaFamily())
+        if (m.name == name)
+            return m;
+    // Forgiving aliases: opt-6.7b, llama2-70b, etc.
+    std::string lower;
+    for (char c : name)
+        lower += char(std::tolower(c));
+    if (lower == "opt-6.7b" || lower == "opt6.7b")
+        return llm::opt6_7b();
+    if (lower == "opt-13b")
+        return llm::opt13b();
+    if (lower == "opt-30b")
+        return llm::opt30b();
+    if (lower == "opt-66b")
+        return llm::opt66b();
+    if (lower == "llama2-7b")
+        return llm::llama2_7b();
+    if (lower == "llama2-13b")
+        return llm::llama2_13b();
+    if (lower == "llama2-70b")
+        return llm::llama2_70b();
+    fatal("unknown model '%s' (try opt-6.7b/13b/30b/66b, "
+          "llama2-7b/13b/70b)",
+          name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Args args(argc, argv);
+    if (args.has("help")) {
+        std::printf(
+            "usage: camllm_cli [options]\n"
+            "  --config S|M|L|custom     Table II preset (default S)\n"
+            "  --channels N --chips N    geometry for --config custom\n"
+            "  --model NAME              opt-6.7b .. llama2-70b\n"
+            "  --quant w8a8|w4a16|w2a16  quantization (default w8a8)\n"
+            "  --seq N                   decode context length "
+            "(default 512)\n"
+            "  --prefill N               simulate prefill of N tokens\n"
+            "  --generate N              prompt --seq, reply N tokens\n"
+            "  --no-slicing --no-tiling --no-prefetch   ablations\n"
+            "  --tile HxW                force a tile shape (Fig 13)\n");
+        return 0;
+    }
+
+    // --- configuration -----------------------------------------------------
+    const std::string preset = args.get("config", "S");
+    core::CamConfig cfg;
+    if (preset == "S")
+        cfg = core::presetS();
+    else if (preset == "M")
+        cfg = core::presetM();
+    else if (preset == "L")
+        cfg = core::presetL();
+    else if (preset == "custom")
+        cfg = core::presetCustom(
+            std::uint32_t(args.getInt("channels", 8)),
+            std::uint32_t(args.getInt("chips", 2)));
+    else
+        fatal("unknown --config '%s'", preset.c_str());
+
+    const std::string quant = args.get("quant", "w8a8");
+    if (quant == "w4a16")
+        cfg.quant = llm::QuantMode::W4A16;
+    else if (quant == "w2a16")
+        cfg.quant = llm::QuantMode::W2A16;
+    else if (quant != "w8a8")
+        fatal("unknown --quant '%s'", quant.c_str());
+
+    cfg.seq_len = std::uint32_t(args.getInt("seq", cfg.seq_len));
+    if (args.has("no-slicing"))
+        cfg.slicing = false;
+    if (args.has("no-tiling"))
+        cfg.hybrid_tiling = false;
+    if (args.has("no-prefetch"))
+        cfg.prefetch = false;
+    if (args.has("tile")) {
+        const std::string t = args.get("tile");
+        auto x = t.find('x');
+        if (x == std::string::npos)
+            fatal("--tile expects HxW, got '%s'", t.c_str());
+        cfg.forced_tile =
+            core::TileShape{std::uint32_t(std::stoul(t.substr(0, x))),
+                            std::uint32_t(std::stoul(t.substr(x + 1)))};
+    }
+
+    llm::ModelConfig model = modelByName(args.get("model", "OPT-6.7B"));
+    const bool do_generate = args.has("generate");
+    const bool do_prefill = args.has("prefill");
+
+    for (const auto &key : args.unusedKeys())
+        warn("ignoring unknown option --%s", key.c_str());
+
+    // --- run ------------------------------------------------------------------
+    core::CambriconEngine engine(cfg, model);
+    std::printf("# %s | %s | %s | seq %u%s%s\n", cfg.name.c_str(),
+                model.name.c_str(),
+                llm::QuantSpec::of(cfg.quant).label(), cfg.seq_len,
+                cfg.slicing ? "" : " | no-slicing",
+                cfg.hybrid_tiling ? "" : " | no-tiling");
+
+    if (do_generate) {
+        auto g = engine.generate(
+            cfg.seq_len, std::uint32_t(args.getInt("generate", 128)));
+        std::printf("prefill          : %.1f ms\n",
+                    double(g.prefill.token_time) / 1e6);
+        std::printf("decode           : %.2f token/s (first) .. %.2f "
+                    "(last)\n",
+                    g.first_decode.tokens_per_s,
+                    g.last_decode.tokens_per_s);
+        std::printf("whole exchange   : %.2f s\n", g.totalSeconds());
+        return 0;
+    }
+
+    core::TokenStats s = do_prefill
+                             ? engine.prefill(std::uint32_t(
+                                   args.getInt("prefill", 512)))
+                             : engine.decodeToken();
+    core::EnergyBreakdown e = core::computeEnergy(s);
+    std::printf("speed            : %.2f token/s\n", s.tokens_per_s);
+    std::printf("latency          : %.2f ms\n",
+                double(s.token_time) / 1e6);
+    std::printf("channel usage    : %.1f%%\n",
+                s.avg_channel_util * 100.0);
+    std::printf("alpha (flash)    : %.1f%%\n",
+                s.alphaEffective() * 100.0);
+    std::printf("pages            : %llu computed in flash, %llu read\n",
+                (unsigned long long)s.pages_computed,
+                (unsigned long long)s.pages_read);
+    std::printf("data moved       : %.2f GB (%.2f channel + %.2f "
+                "DRAM)\n",
+                double(s.transferBytes()) / 1e9,
+                double(s.channel_bytes_high + s.channel_bytes_low) /
+                    1e9,
+                double(s.dram_bytes) / 1e9);
+    std::printf("energy           : %.2f J (array %.2f, channel %.2f, "
+                "dram %.2f)\n",
+                e.totalJ(), e.array_j, e.channel_j, e.dram_j);
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Quickstart: simulate one decode step of Llama2-70B on the
+ * Cambricon-LLM-L configuration and print the headline numbers.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <cstdio>
+
+#include "core/energy.h"
+#include "core/engine.h"
+#include "core/presets.h"
+#include "llm/model_config.h"
+
+int
+main()
+{
+    using namespace camllm;
+
+    // 1. Pick a hardware configuration (Table II presets: S / M / L)
+    //    and a model from the zoo.
+    core::CamConfig config = core::presetL();
+    llm::ModelConfig model = llm::llama2_70b();
+
+    // 2. Build the engine. It wires the flash channels, the on-die
+    //    compute cores, the NPU and the LPDDR model together and
+    //    plans the hardware-aware tiling for every weight GeMV.
+    core::CambriconEngine engine(config, model);
+
+    // 3. Simulate one token of the decode phase.
+    core::TokenStats stats = engine.decodeToken();
+    core::EnergyBreakdown energy = core::computeEnergy(stats);
+
+    std::printf("model            : %s (%.1fB params)\n",
+                model.name.c_str(), double(model.totalParams()) / 1e9);
+    std::printf("config           : %s (%u channels x %u chips)\n",
+                config.name.c_str(), config.flash.geometry.channels,
+                config.flash.geometry.chips_per_channel);
+    std::printf("decode speed     : %.2f token/s\n", stats.tokens_per_s);
+    std::printf("token latency    : %.1f ms\n",
+                double(stats.token_time) / 1e6);
+    std::printf("channel usage    : %.1f%%\n",
+                stats.avg_channel_util * 100.0);
+    std::printf("weights in flash : %.1f%% (alpha)\n",
+                stats.alphaEffective() * 100.0);
+    std::printf("data moved       : %.2f GB/token\n",
+                double(stats.transferBytes()) / 1e9);
+    std::printf("energy           : %.2f J/token (%.0f%% NAND array)\n",
+                energy.totalJ(),
+                energy.array_j / energy.totalJ() * 100.0);
+
+    // 4. The tile plan behind the biggest GeMV of this model.
+    core::TilePlan plan = engine.planFor(model.d_ffn, model.d_model);
+    std::printf("FFN tile plan    : Hreq=%u Wreq=%u alpha=%.2f "
+                "(page util %.0f%%)\n",
+                plan.tile.h, plan.tile.w, plan.alpha,
+                plan.page_utilization * 100.0);
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * FlexGen-style offloading baseline (Table III).
+ *
+ * Weights live on an NVMe SSD (FlexGen-SSD) or in host DRAM
+ * (FlexGen-DRAM) and stream layer-by-layer through PCIe into the
+ * GPU's HBM for every generated token. Decode is transfer-bound, so
+ * the decisive quantities are the SSD read rate, the PCIe rate, and
+ * the 3x data amplification of the staging path that the paper calls
+ * out (SSD -> DRAM, DRAM -> HBM, HBM -> compute).
+ */
+
+#ifndef CAMLLM_BASELINES_FLEXGEN_H
+#define CAMLLM_BASELINES_FLEXGEN_H
+
+#include <cstdint>
+
+#include "baselines/pipeline.h"
+#include "llm/model_config.h"
+#include "llm/quant.h"
+
+namespace camllm::baselines {
+
+/** Where FlexGen keeps the weights. */
+enum class FlexGenPlacement
+{
+    Ssd,
+    Dram
+};
+
+/** Server configuration (Table III hardware). */
+struct FlexGenConfig
+{
+    FlexGenPlacement placement = FlexGenPlacement::Ssd;
+
+    /** Effective NVMe sequential read rate (GB/s). */
+    double ssd_gbps = 5.5;
+
+    /** Effective PCIe 4.0 x16 host->device rate (GB/s). */
+    double pcie_gbps = 25.0;
+
+    /** A100 HBM2e bandwidth (GB/s); write + read of staged weights. */
+    double hbm_gbps = 1935.0;
+
+    /** GPU INT8 throughput (TOPS), far from binding in decode. */
+    double gpu_tops = 624.0;
+
+    /** Per-layer transfer granularity (double buffering unit). */
+    std::uint32_t chunk_layers = 1;
+
+    std::uint32_t seq_len = 512;
+};
+
+/** Per-token results of the FlexGen model. */
+struct FlexGenResult
+{
+    double tokens_per_s = 0.0;
+    Tick token_time = 0;
+
+    /** Total bytes moved per token across all staging hops
+     *  (Fig 16a accounting). */
+    std::uint64_t transfer_bytes = 0;
+
+    /** Energy per token (Fig 16b). */
+    double energy_j = 0.0;
+};
+
+/** Per-hop energy constants for the server path (pJ/byte). */
+struct FlexGenEnergyParams
+{
+    double pj_per_byte_nand = 120.0; ///< SSD NAND array read
+    double pj_per_byte_pcie = 30.0;  ///< each PCIe traversal
+    double pj_per_byte_dram = 15.0;  ///< server DDR4, per access
+    double pj_per_byte_hbm = 8.0;    ///< HBM2e, per access
+    double pj_per_flop_gpu = 1.0;
+};
+
+/** Evaluate FlexGen's decode speed for @p model. */
+FlexGenResult flexgenDecode(const llm::ModelConfig &model,
+                            const llm::QuantSpec &quant,
+                            const FlexGenConfig &config,
+                            const FlexGenEnergyParams &energy = {});
+
+} // namespace camllm::baselines
+
+#endif // CAMLLM_BASELINES_FLEXGEN_H

@@ -1,0 +1,35 @@
+#include "mlc_llm.h"
+
+#include "common/logging.h"
+
+namespace camllm::baselines {
+
+MlcLlmResult
+mlcLlmDecode(const llm::ModelConfig &model, const MlcLlmConfig &config)
+{
+    CAMLLM_ASSERT(model.valid());
+    llm::QuantSpec quant{config.weight_bits, config.act_bits};
+
+    const std::uint64_t weight_bytes =
+        quant.weightBytes(model.totalParams());
+    const std::uint64_t kv_bytes =
+        model.kvCacheBytes(config.seq_len, config.act_bits / 8);
+
+    MlcLlmResult r;
+    r.resident_bytes = weight_bytes + kv_bytes;
+    if (r.resident_bytes > config.usable_dram_bytes) {
+        r.oom = true;
+        return r;
+    }
+
+    // Every decode step streams the touched weights plus the KV cache
+    // through the DRAM interface once.
+    const std::uint64_t touched =
+        quant.weightBytes(model.decodeWeightParams()) + kv_bytes;
+    const double seconds =
+        double(touched) / (config.dram_effective_gbps * 1e9);
+    r.tokens_per_s = 1.0 / seconds;
+    return r;
+}
+
+} // namespace camllm::baselines

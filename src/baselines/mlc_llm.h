@@ -1,0 +1,51 @@
+/**
+ * @file
+ * MLC-LLM mobile baseline (Table III): all weights resident in the
+ * phone's LPDDR, 4-bit round-to-nearest quantization, decode bound by
+ * effective DRAM bandwidth. Models that do not fit the usable DRAM
+ * budget fail with OOM, which is exactly what the paper reports for
+ * Llama2-13B and 70B on the Snapdragon 8 Gen 2.
+ */
+
+#ifndef CAMLLM_BASELINES_MLC_LLM_H
+#define CAMLLM_BASELINES_MLC_LLM_H
+
+#include <cstdint>
+#include <optional>
+
+#include "llm/model_config.h"
+#include "llm/quant.h"
+
+namespace camllm::baselines {
+
+/** Snapdragon 8 Gen 2 phone configuration. */
+struct MlcLlmConfig
+{
+    /** Effective (not peak) LPDDR5X bandwidth for GeMV streaming. */
+    double dram_effective_gbps = 26.5;
+
+    /** Usable DRAM for weights + KV after OS/app overheads (bytes). */
+    std::uint64_t usable_dram_bytes = 6ull * 1000 * 1000 * 1000;
+
+    /** MLC-LLM ships 4-bit RTN weights with fp16 activations. */
+    std::uint32_t weight_bits = 4;
+    std::uint32_t act_bits = 16;
+
+    std::uint32_t seq_len = 512;
+};
+
+/** Decode-speed result; empty tokens_per_s means OOM. */
+struct MlcLlmResult
+{
+    bool oom = false;
+    double tokens_per_s = 0.0;
+    std::uint64_t resident_bytes = 0;
+};
+
+/** Evaluate MLC-LLM's decode speed (or OOM) for @p model. */
+MlcLlmResult mlcLlmDecode(const llm::ModelConfig &model,
+                          const MlcLlmConfig &config = {});
+
+} // namespace camllm::baselines
+
+#endif // CAMLLM_BASELINES_MLC_LLM_H

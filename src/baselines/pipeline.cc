@@ -1,0 +1,55 @@
+#include "pipeline.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace camllm::baselines {
+
+PipelineResult
+runPipeline(const std::vector<Stage> &stages, std::uint64_t total_bytes,
+            std::uint64_t chunk_bytes)
+{
+    CAMLLM_ASSERT(!stages.empty());
+    CAMLLM_ASSERT(total_bytes > 0 && chunk_bytes > 0);
+
+    const std::size_t n_chunks =
+        (total_bytes + chunk_bytes - 1) / chunk_bytes;
+    const std::size_t n_stages = stages.size();
+
+    // finish[s]: when stage s finished its latest chunk.
+    std::vector<Tick> finish(n_stages, 0);
+    Tick first_chunk_done = 0;
+
+    std::uint64_t remaining = total_bytes;
+    for (std::size_t c = 0; c < n_chunks; ++c) {
+        const std::uint64_t bytes =
+            std::min<std::uint64_t>(chunk_bytes, remaining);
+        remaining -= bytes;
+        Tick prev_stage_done = 0;
+        for (std::size_t s = 0; s < n_stages; ++s) {
+            const Tick start = std::max(prev_stage_done, finish[s]);
+            const Tick dur =
+                stages[s].latency + transferTime(bytes, stages[s].gbps);
+            finish[s] = start + dur;
+            prev_stage_done = finish[s];
+        }
+        if (c == 0)
+            first_chunk_done = finish[n_stages - 1];
+    }
+
+    PipelineResult r;
+    r.total_time = finish[n_stages - 1];
+    r.fill_time = first_chunk_done;
+    r.bottleneck_gbps = stages[0].gbps;
+    r.bottleneck_stage = 0;
+    for (std::size_t s = 1; s < n_stages; ++s) {
+        if (stages[s].gbps < r.bottleneck_gbps) {
+            r.bottleneck_gbps = stages[s].gbps;
+            r.bottleneck_stage = s;
+        }
+    }
+    return r;
+}
+
+} // namespace camllm::baselines

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Chunked multi-stage transfer pipeline.
+ *
+ * Models offloading frameworks (FlexGen-style) that stream weights
+ * through a chain of bandwidth-limited stages (SSD -> host DRAM ->
+ * PCIe -> HBM -> compute) with double buffering: chunk i may occupy
+ * stage s only after chunk i-1 released it, and after chunk i itself
+ * finished stage s-1. Throughput converges to the slowest stage; the
+ * fill latency is the sum over stages for the first chunk.
+ */
+
+#ifndef CAMLLM_BASELINES_PIPELINE_H
+#define CAMLLM_BASELINES_PIPELINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace camllm::baselines {
+
+/** One pipeline stage with a fixed bandwidth and per-chunk latency. */
+struct Stage
+{
+    std::string name;
+    double gbps = 1.0;
+    Tick latency = 0; ///< fixed per-chunk overhead
+};
+
+/** Result of pushing a workload through the pipeline. */
+struct PipelineResult
+{
+    Tick total_time = 0;
+    Tick fill_time = 0;        ///< completion of the first chunk
+    double bottleneck_gbps = 0.0;
+    std::size_t bottleneck_stage = 0;
+};
+
+/**
+ * Time for @p total_bytes to traverse @p stages in chunks of
+ * @p chunk_bytes with double buffering (classic pipeline recurrence).
+ */
+PipelineResult runPipeline(const std::vector<Stage> &stages,
+                           std::uint64_t total_bytes,
+                           std::uint64_t chunk_bytes);
+
+} // namespace camllm::baselines
+
+#endif // CAMLLM_BASELINES_PIPELINE_H

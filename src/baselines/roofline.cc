@@ -1,0 +1,159 @@
+#include "roofline.h"
+
+#include "common/logging.h"
+
+namespace camllm::baselines {
+
+double
+llmDecodeAi(const llm::ModelConfig &model, const llm::QuantSpec &quant,
+            std::uint32_t seq)
+{
+    // Per token: 2 ops per weight element, weights read once; the KV
+    // cache is read once and contributes 2 ops per element too.
+    const double wparams = double(model.decodeWeightParams());
+    const double kv_elems =
+        double(model.kvCacheBytes(seq, 1)); // elements, width-free
+    const double ops = 2.0 * (wparams + kv_elems);
+    const double bytes = double(quant.weightBytes(
+                             model.decodeWeightParams())) +
+                         double(model.kvCacheBytes(seq,
+                                                   quant.act_bits / 8));
+    return ops / bytes;
+}
+
+double
+llmPrefillAi(const llm::ModelConfig &model, const llm::QuantSpec &quant,
+             std::uint32_t prompt_len)
+{
+    // Weights are reused across all prompt positions.
+    const double wparams = double(model.decodeWeightParams());
+    const double ops = 2.0 * wparams * double(prompt_len);
+    const double bytes =
+        double(quant.weightBytes(model.decodeWeightParams())) +
+        double(prompt_len) * model.d_model * (quant.act_bits / 8.0) * 2.0;
+    return ops / bytes;
+}
+
+namespace {
+
+/** One convolution layer's ops and bytes at INT8. */
+struct ConvCost
+{
+    double ops = 0.0;
+    double bytes = 0.0;
+};
+
+ConvCost
+conv(std::uint32_t batch, std::uint32_t hw, std::uint32_t cin,
+     std::uint32_t cout, std::uint32_t k = 3)
+{
+    ConvCost c;
+    const double out_elems = double(batch) * hw * hw * cout;
+    c.ops = 2.0 * out_elems * k * k * cin;
+    const double weights = double(k) * k * cin * cout;
+    const double activations =
+        double(batch) * hw * hw * (cin + cout);
+    c.bytes = weights + activations;
+    return c;
+}
+
+} // namespace
+
+double
+vgg16Ai(std::uint32_t batch)
+{
+    CAMLLM_ASSERT(batch > 0);
+    // The 13 conv layers of VGG-16 (feature extractor at 224x224).
+    struct L { std::uint32_t hw, cin, cout; };
+    static const L layers[] = {
+        {224, 3, 64},   {224, 64, 64},  {112, 64, 128},
+        {112, 128, 128},{56, 128, 256}, {56, 256, 256},
+        {56, 256, 256}, {28, 256, 512}, {28, 512, 512},
+        {28, 512, 512}, {14, 512, 512}, {14, 512, 512},
+        {14, 512, 512},
+    };
+    double ops = 0.0, bytes = 0.0;
+    for (const auto &l : layers) {
+        ConvCost c = conv(batch, l.hw, l.cin, l.cout);
+        ops += c.ops;
+        bytes += c.bytes;
+    }
+    // Fully connected tail: 25088->4096->4096->1000.
+    const double fc_params =
+        25088.0 * 4096 + 4096.0 * 4096 + 4096.0 * 1000;
+    ops += 2.0 * fc_params * batch;
+    bytes += fc_params + batch * (25088.0 + 4096 + 4096 + 1000);
+    return ops / bytes;
+}
+
+double
+bertBaseAi(std::uint32_t batch, std::uint32_t seq)
+{
+    CAMLLM_ASSERT(batch > 0 && seq > 0);
+    // BERT-base: 12 layers, d=768, ffn=3072; weights reused across
+    // batch * seq token positions.
+    const double d = 768.0, f = 3072.0, layers = 12.0;
+    const double params = layers * (4.0 * d * d + 2.0 * d * f);
+    const double tokens = double(batch) * seq;
+    double ops = 2.0 * params * tokens;
+    // Attention matmuls: QK^T and SV per layer per head.
+    ops += layers * batch * 2.0 * 2.0 * double(seq) * seq * d;
+    const double act_bytes = tokens * d * 2.0 * layers;
+    const double bytes = params + act_bytes;
+    return ops / bytes;
+}
+
+double
+dlrmAi(std::uint32_t batch)
+{
+    CAMLLM_ASSERT(batch > 0);
+    // DLRM inference: bottom MLP 13-512-256-64, top MLP 512-256-1,
+    // 26 embedding gathers of 64 B each; MLP weights reused across
+    // the batch, embeddings are not.
+    const double mlp_params = 13.0 * 512 + 512.0 * 256 + 256.0 * 64 +
+                              512.0 * 256 + 256.0 * 1;
+    const double emb_bytes_per_sample = 26.0 * 64.0;
+    const double ops = 2.0 * mlp_params * batch +
+                       2.0 * emb_bytes_per_sample * batch;
+    const double bytes = mlp_params + batch * emb_bytes_per_sample +
+                         batch * (13 + 64 + 512 + 1);
+    return ops / bytes;
+}
+
+std::vector<Device>
+referenceDevices()
+{
+    return {
+        {"Apple A16 (ANE)", 17.0, 51.2},
+        {"NVIDIA A100", 624.0, 2039.0},
+        {"Jetson Orin", 275.0, 204.8},
+        {"Smartphone NPU", 2.0, 40.0},
+    };
+}
+
+Device
+cambriconDevice(double flash_agg_gbps, double npu_tops)
+{
+    return {"Cambricon-LLM", npu_tops, flash_agg_gbps};
+}
+
+std::vector<ReductionPoint>
+reductionRatios(std::uint32_t llm_dim)
+{
+    return {
+        {"LLM GeMV (this work)", double(llm_dim),
+         "4096x4096 weights -> 4096 outputs"},
+        {"OptimStore (DNN training)", 3.0,
+         "params+grads+moments in, params out"},
+        {"BeaconGNN (GNN aggregate)", 16.0,
+         "mean neighbor degree worth of features in, one node out"},
+        {"RecSSD (recsys embedding)", 8.0,
+         "multi-hot embedding gather-reduce"},
+        {"GenStore (genome filter)", 32.0,
+         "read filtering discards most candidates"},
+        {"Smart-SSD query (scan)", 64.0,
+         "selective scan returns ~1/64 of pages"},
+    };
+}
+
+} // namespace camllm::baselines

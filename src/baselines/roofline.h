@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Arithmetic-intensity / roofline analytics (Fig 1 and Fig 3a) and the
+ * reduction-ratio comparison against prior in-storage-computing
+ * workloads (Fig 1b).
+ */
+
+#ifndef CAMLLM_BASELINES_ROOFLINE_H
+#define CAMLLM_BASELINES_ROOFLINE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/model_config.h"
+#include "llm/quant.h"
+
+namespace camllm::baselines {
+
+/** A named workload point on the AI axis. */
+struct AiPoint
+{
+    std::string name;
+    double ops_per_byte = 0.0;
+};
+
+/** A hardware platform for roofline ceilings. */
+struct Device
+{
+    std::string name;
+    double tops = 0.0;     ///< peak INT8 throughput
+    double mem_gbps = 0.0; ///< memory bandwidth
+
+    /** AI at which the device turns compute bound. */
+    double ridge() const { return tops * 1000.0 / mem_gbps; }
+
+    /** Attainable GOPS at arithmetic intensity @p ai. */
+    double
+    attainableGops(double ai) const
+    {
+        double mem_bound = ai * mem_gbps;
+        double peak = tops * 1000.0;
+        return mem_bound < peak ? mem_bound : peak;
+    }
+};
+
+/** AI of single-batch LLM decode: ~2 ops per weight byte at INT8. */
+double llmDecodeAi(const llm::ModelConfig &model,
+                   const llm::QuantSpec &quant, std::uint32_t seq);
+
+/** AI of the prefill phase over @p prompt_len tokens. */
+double llmPrefillAi(const llm::ModelConfig &model,
+                    const llm::QuantSpec &quant,
+                    std::uint32_t prompt_len);
+
+/** AI of VGG-16 inference at INT8 (computed layer by layer). */
+double vgg16Ai(std::uint32_t batch);
+
+/** AI of BERT-base encoding a @p seq-token batch at INT8. */
+double bertBaseAi(std::uint32_t batch, std::uint32_t seq);
+
+/** AI of a DLRM-style MLP + embedding inference at INT8. */
+double dlrmAi(std::uint32_t batch);
+
+/** Fig 1a device set: Apple A16, NVIDIA A100, Jetson Orin. */
+std::vector<Device> referenceDevices();
+
+/** The Cambricon-LLM point: NPU fed by flash channels + on-die PEs. */
+Device cambriconDevice(double flash_agg_gbps, double npu_tops);
+
+/** Fig 1b: reduction ratios of ISC workloads vs LLM GeMV. */
+struct ReductionPoint
+{
+    std::string workload;
+    double reduction_ratio;
+    std::string basis; ///< how the number arises
+};
+std::vector<ReductionPoint> reductionRatios(std::uint32_t llm_dim);
+
+} // namespace camllm::baselines
+
+#endif // CAMLLM_BASELINES_ROOFLINE_H

@@ -1,0 +1,84 @@
+#include "args.h"
+
+#include <cstdlib>
+
+#include "common/logging.h"
+
+namespace camllm {
+
+Args::Args(int argc, const char *const *argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+            positional_.push_back(arg);
+            continue;
+        }
+        arg = arg.substr(2);
+        auto eq = arg.find('=');
+        if (eq != std::string::npos) {
+            options_[arg.substr(0, eq)] = arg.substr(eq + 1);
+        } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+            options_[arg] = argv[++i];
+        } else {
+            options_[arg] = ""; // boolean flag
+        }
+    }
+}
+
+bool
+Args::has(const std::string &key) const
+{
+    used_[key] = true;
+    return options_.count(key) > 0;
+}
+
+std::string
+Args::get(const std::string &key, const std::string &fallback) const
+{
+    used_[key] = true;
+    auto it = options_.find(key);
+    return it == options_.end() ? fallback : it->second;
+}
+
+std::int64_t
+Args::getInt(const std::string &key, std::int64_t fallback) const
+{
+    used_[key] = true;
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return fallback;
+    char *end = nullptr;
+    std::int64_t v = std::strtoll(it->second.c_str(), &end, 10);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --%s expects an integer, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+double
+Args::getDouble(const std::string &key, double fallback) const
+{
+    used_[key] = true;
+    auto it = options_.find(key);
+    if (it == options_.end())
+        return fallback;
+    char *end = nullptr;
+    double v = std::strtod(it->second.c_str(), &end);
+    if (end == it->second.c_str() || *end != '\0')
+        fatal("option --%s expects a number, got '%s'", key.c_str(),
+              it->second.c_str());
+    return v;
+}
+
+std::vector<std::string>
+Args::unusedKeys() const
+{
+    std::vector<std::string> out;
+    for (const auto &[key, value] : options_)
+        if (!used_.count(key))
+            out.push_back(key);
+    return out;
+}
+
+} // namespace camllm

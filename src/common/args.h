@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Tiny command-line argument parser for the tools and examples.
+ * Accepts --key=value and --key value forms plus boolean flags.
+ */
+
+#ifndef CAMLLM_COMMON_ARGS_H
+#define CAMLLM_COMMON_ARGS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace camllm {
+
+/** Parsed command line: options map + positional arguments. */
+class Args
+{
+  public:
+    Args(int argc, const char *const *argv);
+
+    /** @return true when --key was present (with or without value). */
+    bool has(const std::string &key) const;
+
+    /** String option or @p fallback. */
+    std::string get(const std::string &key,
+                    const std::string &fallback = "") const;
+
+    /** Integer option or @p fallback; fatal() on malformed input. */
+    std::int64_t getInt(const std::string &key,
+                        std::int64_t fallback) const;
+
+    /** Floating option or @p fallback; fatal() on malformed input. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Keys that were never queried (likely typos). */
+    std::vector<std::string> unusedKeys() const;
+
+  private:
+    std::map<std::string, std::string> options_;
+    mutable std::map<std::string, bool> used_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace camllm
+
+#endif // CAMLLM_COMMON_ARGS_H

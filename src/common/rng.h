@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A self-contained xoshiro256** implementation so simulation results are
+ * bit-reproducible across standard libraries (std::mt19937 streams are
+ * portable, but distributions are not).
+ */
+
+#ifndef CAMLLM_COMMON_RNG_H
+#define CAMLLM_COMMON_RNG_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace camllm {
+
+/** Seeded xoshiro256** generator with portable distributions. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return double(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        // Rejection sampling keeps the distribution exactly uniform.
+        const std::uint64_t threshold = (0 - bound) % bound;
+        for (;;) {
+            std::uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+    /** Standard normal via Box-Muller (portable, no cached spare). */
+    double
+    normal()
+    {
+        double u1 = 0.0;
+        while (u1 == 0.0)
+            u1 = uniform();
+        double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(6.28318530717958647692 * u2);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace camllm
+
+#endif // CAMLLM_COMMON_RNG_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal statistics accumulators for simulator instrumentation.
+ */
+
+#ifndef CAMLLM_COMMON_STATS_H
+#define CAMLLM_COMMON_STATS_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace camllm {
+
+/** Running scalar statistic: count / sum / min / max / mean / stddev. */
+class Accumulator
+{
+  public:
+    void
+    add(double v)
+    {
+        ++count_;
+        sum_ += v;
+        sum_sq_ += v * v;
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+
+    void
+    reset()
+    {
+        *this = Accumulator();
+    }
+
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+    double
+    variance() const
+    {
+        if (count_ < 2)
+            return 0.0;
+        double m = mean();
+        double v = (sum_sq_ - double(count_) * m * m) / double(count_ - 1);
+        return v > 0.0 ? v : 0.0;
+    }
+
+    double stddev() const { return std::sqrt(variance()); }
+
+  private:
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double sum_sq_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Busy-time tracker for a shared resource (e.g.\ a flash channel bus).
+ * Accumulates occupied intervals so utilization = busy / elapsed.
+ */
+class BusyTracker
+{
+  public:
+    /** Record that the resource was occupied for [start, end). */
+    void
+    addBusy(std::uint64_t start, std::uint64_t end)
+    {
+        if (end > start)
+            busy_ += end - start;
+    }
+
+    std::uint64_t busyTicks() const { return busy_; }
+
+    /** Fraction of [0, elapsed) the resource was occupied. */
+    double
+    utilization(std::uint64_t elapsed) const
+    {
+        return elapsed == 0 ? 0.0 : double(busy_) / double(elapsed);
+    }
+
+    void reset() { busy_ = 0; }
+
+  private:
+    std::uint64_t busy_ = 0;
+};
+
+} // namespace camllm
+
+#endif // CAMLLM_COMMON_STATS_H

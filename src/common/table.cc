@@ -1,0 +1,89 @@
+#include "table.h"
+
+#include <cstdio>
+#include <ostream>
+
+#include "logging.h"
+
+namespace camllm {
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    CAMLLM_ASSERT(!cells.empty());
+    header_ = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    CAMLLM_ASSERT(cells.size() == header_.size(),
+                  "row has %zu cells, header has %zu",
+                  cells.size(), header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    auto rule = [&] {
+        os << '+';
+        for (auto w : widths) {
+            for (std::size_t i = 0; i < w + 2; ++i)
+                os << '-';
+            os << '+';
+        }
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c];
+            for (std::size_t i = cells[c].size(); i < widths[c] + 1; ++i)
+                os << ' ';
+            os << '|';
+        }
+        os << '\n';
+    };
+
+    os << "== " << title_ << " ==\n";
+    rule();
+    line(header_);
+    rule();
+    for (const auto &r : rows_)
+        line(r);
+    rule();
+}
+
+std::string
+Table::fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::fmtPercent(double fraction, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+}
+
+std::string
+Table::fmtInt(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu", (unsigned long long)v);
+    return buf;
+}
+
+} // namespace camllm

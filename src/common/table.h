@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Console table printer used by the benchmark binaries to emit the
+ * rows/series reported in the paper's tables and figures.
+ */
+
+#ifndef CAMLLM_COMMON_TABLE_H
+#define CAMLLM_COMMON_TABLE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace camllm {
+
+/** Column-aligned plain-text table with a title and a header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row; defines the column count. */
+    void header(std::vector<std::string> cells);
+
+    /** Append one data row; must match the header's column count. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to @p os with column alignment and rules. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers for common cell types. */
+    static std::string fmt(double v, int precision = 2);
+    static std::string fmtPercent(double fraction, int precision = 1);
+    static std::string fmtInt(std::uint64_t v);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace camllm
+
+#endif // CAMLLM_COMMON_TABLE_H

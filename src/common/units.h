@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental simulation units and conversion helpers.
+ *
+ * Simulated time is kept in integer nanoseconds (Tick). With the
+ * paper's parameters (1 GB/s channels, 30 us page reads, 1 GHz NPU)
+ * one nanosecond resolves every modeled latency, and 64-bit ticks
+ * cover ~584 simulated years.
+ */
+
+#ifndef CAMLLM_COMMON_UNITS_H
+#define CAMLLM_COMMON_UNITS_H
+
+#include <cstdint>
+
+namespace camllm {
+
+/** Simulated time in nanoseconds. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick; used as "never". */
+inline constexpr Tick kTickMax = ~Tick(0);
+
+// --- time literals ------------------------------------------------------
+inline constexpr Tick kNs = 1;
+inline constexpr Tick kUs = 1000 * kNs;
+inline constexpr Tick kMs = 1000 * kUs;
+inline constexpr Tick kSec = 1000 * kMs;
+
+// --- sizes --------------------------------------------------------------
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+inline constexpr std::uint64_t kKB = 1000;
+inline constexpr std::uint64_t kMB = 1000 * kKB;
+inline constexpr std::uint64_t kGB = 1000 * kMB;
+
+/** Convert ticks to seconds as a double (for reporting only). */
+constexpr double ticksToSeconds(Tick t) { return double(t) / double(kSec); }
+
+/** Convert seconds to ticks, rounding to nearest. */
+constexpr Tick secondsToTicks(double s)
+{
+    return Tick(s * double(kSec) + 0.5);
+}
+
+/**
+ * Time to move @p bytes at @p gbps gigabytes per second (decimal GB),
+ * rounded up so a transfer never finishes early.
+ */
+constexpr Tick transferTime(std::uint64_t bytes, double gbps)
+{
+    // bytes / (gbps GB/s) = bytes / gbps ns when 1 GB/s == 1 B/ns.
+    double ns = double(bytes) / gbps;
+    Tick t = Tick(ns);
+    return (double(t) < ns) ? t + 1 : t;
+}
+
+/** Bandwidth in GB/s realized by moving @p bytes in @p ticks. */
+constexpr double bandwidthGBps(std::uint64_t bytes, Tick ticks)
+{
+    return ticks == 0 ? 0.0 : double(bytes) / double(ticks);
+}
+
+} // namespace camllm
+
+#endif // CAMLLM_COMMON_UNITS_H

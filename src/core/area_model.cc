@@ -1,0 +1,20 @@
+#include "area_model.h"
+
+namespace camllm::core {
+
+AreaReport
+computeCoreArea(const AreaModelParams &p)
+{
+    AreaReport r;
+    r.ecu_um2 = p.ecu_um2;
+    r.ecu_uw = p.ecu_uw;
+    r.pes_um2 = p.um2_per_mac * p.n_macs;
+    r.pes_uw = p.uw_per_mac * p.n_macs;
+    r.buffers_um2 = p.um2_per_sram_byte * p.buffer_bytes;
+    r.buffers_uw = p.uw_per_sram_byte * p.buffer_bytes;
+    r.area_overhead = r.totalUm2() / p.die_baseline_um2;
+    r.power_overhead = r.totalUw() / p.die_baseline_uw;
+    return r;
+}
+
+} // namespace camllm::core

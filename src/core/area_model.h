@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compute-core area/power component model (Table IV).
+ *
+ * A parameterized component model at the TSMC 65 nm node, calibrated
+ * against the paper's Design Compiler synthesis: SRAM buffers dominate
+ * area, the PEs dominate dynamic power, and the error correction unit
+ * is nearly free. Note the paper's printed total (39813.5 um^2) is
+ * smaller than its own buffer line item (58755.1 um^2); the component
+ * sum says the total should read 59813.5 um^2, and we report both.
+ */
+
+#ifndef CAMLLM_CORE_AREA_MODEL_H
+#define CAMLLM_CORE_AREA_MODEL_H
+
+#include <cstdint>
+
+namespace camllm::core {
+
+/** Per-component unit costs at 65 nm. */
+struct AreaModelParams
+{
+    // Calibrated unit constants.
+    double um2_per_mac = 281.0;        ///< INT8 MAC + pipeline regs
+    double uw_per_mac = 171.8;         ///< dynamic power per MAC
+    double um2_per_sram_byte = 28.69;  ///< single-port SRAM macro
+    double uw_per_sram_byte = 0.777;
+    double ecu_um2 = 496.4;            ///< comparators + vote logic
+    double ecu_uw = 0.4;
+
+    // Compute-core composition (paper design point).
+    std::uint32_t n_macs = 2;
+    std::uint32_t buffer_bytes = 2048; ///< input + output buffers
+
+    // Baselines for overhead percentages (per-die share implied by
+    // the paper's 1.2% area / 4.5% power overheads).
+    double die_baseline_um2 = 4.98e6;
+    double die_baseline_uw = 43000.0;
+};
+
+/** Synthesized-area summary for one compute core. */
+struct AreaReport
+{
+    double ecu_um2 = 0.0, ecu_uw = 0.0;
+    double pes_um2 = 0.0, pes_uw = 0.0;
+    double buffers_um2 = 0.0, buffers_uw = 0.0;
+
+    double totalUm2() const { return ecu_um2 + pes_um2 + buffers_um2; }
+    double totalUw() const { return ecu_uw + pes_uw + buffers_uw; }
+
+    double area_overhead = 0.0;  ///< vs. die baseline
+    double power_overhead = 0.0;
+};
+
+/** Evaluate the component model. */
+AreaReport computeCoreArea(const AreaModelParams &params = {});
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_AREA_MODEL_H

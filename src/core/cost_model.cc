@@ -1,0 +1,50 @@
+#include "cost_model.h"
+
+#include <algorithm>
+
+namespace camllm::core {
+
+Bom
+camllmBom(double weight_gb, double kv_gb, const CostParams &params)
+{
+    Bom b;
+    b.name = "Cambricon-LLM";
+    b.dram_gb = kv_gb;
+    b.flash_gb = weight_gb;
+    b.dram_usd = b.dram_gb * params.dram_usd_per_gb;
+    b.flash_usd = b.flash_gb * params.flash_usd_per_gb;
+    return b;
+}
+
+Bom
+traditionalBom(double weight_gb, double kv_gb, const CostParams &params)
+{
+    Bom b;
+    b.name = "Traditional Architecture";
+    b.dram_gb = weight_gb + kv_gb;
+    b.flash_gb = 0.0;
+    b.dram_usd = b.dram_gb * params.dram_usd_per_gb;
+    b.flash_usd = 0.0;
+    return b;
+}
+
+double
+chipletAdderUsd(double raw_chip_usd, const CostParams &params)
+{
+    return std::min(raw_chip_usd * params.chiplet_fraction,
+                    params.chiplet_cap_usd);
+}
+
+std::vector<DensityEntry>
+storageDensityTable()
+{
+    // Table I of the paper (densities in Gb/mm^2).
+    return {
+        {"SK hynix", "Flash", "300+", 20.00},
+        {"Samsung", "Flash", "280", 28.50},
+        {"SK hynix", "DDR", "1", 0.30},
+        {"SK hynix", "LPDDR", "1", 0.31},
+    };
+}
+
+} // namespace camllm::core

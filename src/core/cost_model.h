@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bill-of-materials cost model (Table V) and storage-density data
+ * (Table I).
+ */
+
+#ifndef CAMLLM_CORE_COST_MODEL_H
+#define CAMLLM_CORE_COST_MODEL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace camllm::core {
+
+/** Market prices implied by the paper's Table V. */
+struct CostParams
+{
+    double dram_usd_per_gb = 194.68 / 80.0; ///< $2.4335 / GB
+    double flash_usd_per_gb = 38.80 / 80.0; ///< $0.485 / GB
+
+    /** Chiplet D2D + packaging adder as a fraction of raw chip cost
+     *  (paper cites < 15%, bounded by $100). */
+    double chiplet_fraction = 0.15;
+    double chiplet_cap_usd = 100.0;
+};
+
+/** A memory bill of materials. */
+struct Bom
+{
+    std::string name;
+    double dram_gb = 0.0;
+    double flash_gb = 0.0;
+    double dram_usd = 0.0;
+    double flash_usd = 0.0;
+    double totalUsd() const { return dram_usd + flash_usd; }
+};
+
+/**
+ * Table V: Cambricon-LLM stores @p weight_gb of weights in flash and
+ * only the KV cache in DRAM; the traditional design holds everything
+ * in DRAM.
+ */
+Bom camllmBom(double weight_gb, double kv_gb,
+              const CostParams &params = {});
+Bom traditionalBom(double weight_gb, double kv_gb,
+                   const CostParams &params = {});
+
+/** Chiplet packaging adder for a raw chip cost. */
+double chipletAdderUsd(double raw_chip_usd, const CostParams &params = {});
+
+/** One Table I row: published storage densities. */
+struct DensityEntry
+{
+    std::string manufacturer;
+    std::string type;
+    std::string layers;
+    double gb_per_mm2;
+};
+
+/** Table I data (ISSCC'23/'24 devices cited by the paper). */
+std::vector<DensityEntry> storageDensityTable();
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_COST_MODEL_H

@@ -1,0 +1,23 @@
+#include "energy.h"
+
+namespace camllm::core {
+
+EnergyBreakdown
+computeEnergy(const TokenStats &stats, const EnergyParams &params)
+{
+    constexpr double kPjToJ = 1e-12;
+    EnergyBreakdown e;
+    e.array_j = double(stats.array_read_bytes) *
+                params.pj_per_byte_array * kPjToJ;
+    e.channel_j = double(stats.channel_bytes_high +
+                         stats.channel_bytes_low) *
+                  params.pj_per_byte_channel * kPjToJ;
+    e.dram_j = double(stats.dram_bytes) * params.pj_per_byte_dram *
+               kPjToJ;
+    e.npu_j = stats.npu_flops * params.pj_per_flop_npu * kPjToJ;
+    e.flash_core_j =
+        stats.flash_flops * params.pj_per_flop_flash * kPjToJ;
+    return e;
+}
+
+} // namespace camllm::core

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Data-movement energy model (Fig 16b).
+ *
+ * Per-hop energy constants in pJ/byte, chosen from published ranges
+ * and calibrated so the absolute J/token of Table II's Cam-LLM-S lands
+ * near the paper's Fig 16b values:
+ *  - NAND array sensing + on-chip transport is the dominant term for
+ *    any flash-resident model (~100-150 pJ/B for 3D TLC reads);
+ *  - the chiplet D2D channel is cheap (~tens of pJ/B), which is the
+ *    architectural point of avoiding UFS/PCIe hops;
+ *  - LPDDR access costs ~100-200 pJ/B including the PHY.
+ */
+
+#ifndef CAMLLM_CORE_ENERGY_H
+#define CAMLLM_CORE_ENERGY_H
+
+#include "core/engine.h"
+
+namespace camllm::core {
+
+/** Per-hop energy constants (pJ per byte / per op). */
+struct EnergyParams
+{
+    double pj_per_byte_array = 120.0;   ///< NAND array read
+    double pj_per_byte_channel = 30.0;  ///< D2D chiplet channel
+    double pj_per_byte_dram = 150.0;    ///< LPDDR access
+    double pj_per_flop_npu = 0.4;       ///< systolic array INT8 op
+    double pj_per_flop_flash = 0.15;    ///< on-die compute core op
+};
+
+/** Energy per decode step, by component. */
+struct EnergyBreakdown
+{
+    double array_j = 0.0;
+    double channel_j = 0.0;
+    double dram_j = 0.0;
+    double npu_j = 0.0;
+    double flash_core_j = 0.0;
+
+    double
+    totalJ() const
+    {
+        return array_j + channel_j + dram_j + npu_j + flash_core_j;
+    }
+};
+
+/** Fold a token's movement counters into joules. */
+EnergyBreakdown computeEnergy(const TokenStats &stats,
+                              const EnergyParams &params = {});
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_ENERGY_H

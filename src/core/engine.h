@@ -1,0 +1,124 @@
+/**
+ * @file
+ * The Cambricon-LLM end-to-end engine: drives one decode step of an
+ * LLM through the flash + NPU co-simulation.
+ *
+ * Weight GeMVs are split by the tiling planner: the flash share is
+ * issued as read-compute tiles (input broadcast, on-die multiply,
+ * result return), the NPU share as sliced page reads that fill the
+ * channel bubbles. Attention ops stream the KV cache from DRAM; SFU
+ * ops run on the NPU. Because every decode layer is identical, the
+ * engine simulates a sample of layers and extrapolates the measured
+ * steady state to the full depth.
+ */
+
+#ifndef CAMLLM_CORE_ENGINE_H
+#define CAMLLM_CORE_ENGINE_H
+
+#include <cstdint>
+
+#include "common/units.h"
+#include "core/presets.h"
+#include "core/tiling.h"
+#include "llm/model_config.h"
+
+namespace camllm::core {
+
+/** Measured (and possibly extrapolated) results of one decode step. */
+struct TokenStats
+{
+    Tick token_time = 0;
+    double tokens_per_s = 0.0;
+
+    /** Mean flash-channel bus utilization over the token. */
+    double avg_channel_util = 0.0;
+
+    std::uint64_t channel_bytes_high = 0; ///< rc inputs + results
+    std::uint64_t channel_bytes_low = 0;  ///< read-page data
+    std::uint64_t dram_bytes = 0;         ///< KV cache traffic
+    std::uint64_t array_read_bytes = 0;   ///< NAND array reads
+
+    std::uint64_t pages_computed = 0;
+    std::uint64_t pages_read = 0;
+
+    double npu_flops = 0.0;
+    double flash_flops = 0.0;
+
+    std::uint64_t weight_bytes_flash = 0;
+    std::uint64_t weight_bytes_npu = 0;
+
+    bool extrapolated = false;
+    std::uint32_t simulated_layers = 0;
+
+    /** Bytes that crossed the D2D link or the DRAM bus (Fig 16a). */
+    std::uint64_t
+    transferBytes() const
+    {
+        return channel_bytes_high + channel_bytes_low + dram_bytes;
+    }
+
+    /** Realized fraction of weights computed in flash. */
+    double
+    alphaEffective() const
+    {
+        const double tot =
+            double(weight_bytes_flash) + double(weight_bytes_npu);
+        return tot > 0.0 ? double(weight_bytes_flash) / tot : 0.0;
+    }
+};
+
+/** Aggregate results of a full prompt + reply exchange. */
+struct GenerateStats
+{
+    TokenStats prefill;      ///< prompt ingestion (one pass)
+    TokenStats first_decode; ///< decode step right after the prompt
+    TokenStats last_decode;  ///< decode step at the final context
+    Tick total_time = 0;     ///< prefill + all decode steps
+    double decode_tokens_per_s = 0.0;
+
+    double totalSeconds() const { return ticksToSeconds(total_time); }
+};
+
+/** One-token decode co-simulation for a (config, model) pair. */
+class CambriconEngine
+{
+  public:
+    CambriconEngine(const CamConfig &config, const llm::ModelConfig &model);
+
+    /** Simulate one decode step and return its statistics. */
+    TokenStats decodeToken() const;
+
+    /**
+     * Simulate the prefill phase over a @p prompt_len-token prompt:
+     * weights stream through the device once (no in-flash computing —
+     * the batched GeMM runs on the NPU, which is what makes prefill
+     * compute-friendly), attention costs O(prompt^2).
+     */
+    TokenStats prefill(std::uint32_t prompt_len) const;
+
+    /**
+     * Simulate a whole exchange: prefill of @p prompt_len tokens then
+     * @p reply_len decode steps with the KV cache growing. Decode cost
+     * is affine in context length, so the reply time integrates two
+     * endpoint simulations (trapezoid rule).
+     */
+    GenerateStats generate(std::uint32_t prompt_len,
+                           std::uint32_t reply_len) const;
+
+    /** The tile plan the engine will use for a rows x cols GeMV. */
+    TilePlan planFor(std::uint64_t rows, std::uint64_t cols) const;
+
+    const CamConfig &config() const { return config_; }
+    const llm::ModelConfig &model() const { return model_; }
+
+    /** Total weight bytes touched per decode step. */
+    std::uint64_t decodeWeightBytes() const;
+
+  private:
+    CamConfig config_;
+    llm::ModelConfig model_;
+};
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_ENGINE_H

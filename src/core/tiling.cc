@@ -1,0 +1,126 @@
+#include "tiling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camllm::core {
+
+double
+TilePlan::transBytesPerTile(std::uint32_t channels) const
+{
+    // Input slice per channel plus one partial-result vector per
+    // channel (Hreq elements each), in elements == bytes under INT8.
+    return double(wc) * channels + double(channels) * tile.h;
+}
+
+TilingPlanner::TilingPlanner(const flash::FlashParams &flash,
+                             const llm::QuantSpec &quant,
+                             const TilingOptions &options)
+    : flash_(flash), quant_(quant), options_(options)
+{
+    CAMLLM_ASSERT(flash_.valid());
+    elems_per_page_ = quant_.elemsPerPage(flash_.geometry.page_bytes);
+    CAMLLM_ASSERT(elems_per_page_ > 0);
+}
+
+TilePlan
+TilingPlanner::plan(std::uint64_t rows, std::uint64_t cols) const
+{
+    CAMLLM_ASSERT(rows > 0 && cols > 0);
+    const std::uint32_t ch = flash_.geometry.channels;
+    const std::uint32_t cc = flash_.geometry.coresPerChannel();
+    const std::uint64_t E = elems_per_page_;
+
+    TilePlan p;
+    p.rows = rows;
+    p.cols = cols;
+
+    if (options_.forced_tile) {
+        const TileShape t = *options_.forced_tile;
+        CAMLLM_ASSERT(t.h > 0 && t.w > 0);
+        p.wc = std::max<std::uint32_t>(1, (t.w + ch - 1) / ch);
+        p.hpc = std::max<std::uint32_t>(1, (t.h + cc - 1) / cc);
+        CAMLLM_ASSERT(std::uint64_t(p.wc) * p.hpc <= E,
+                      "forced tile %ux%u exceeds page capacity", t.h,
+                      t.w);
+    } else {
+        // AM-GM optimum, then snapped so the column tiles split the
+        // matrix evenly: a ragged final tile wastes array reads (its
+        // atomic pages are partially filled yet still cost tR), which
+        // hurts far more than the few extra vector bytes of a
+        // slightly-narrower tile.
+        auto wc_ideal = std::uint32_t(std::sqrt(double(cc) * double(E)));
+        wc_ideal = std::max<std::uint32_t>(1, wc_ideal);
+        const std::uint64_t ideal_tile_w = std::uint64_t(wc_ideal) * ch;
+        const std::uint64_t n_col =
+            std::max<std::uint64_t>(1,
+                                    (cols + ideal_tile_w - 1) /
+                                        ideal_tile_w);
+        p.wc = std::uint32_t(
+            std::max<std::uint64_t>(1, (cols + ch * n_col - 1) /
+                                           (ch * n_col)));
+        p.hpc = std::max<std::uint32_t>(1, std::uint32_t(E / p.wc));
+    }
+    p.tile.h = p.hpc * cc;
+    p.tile.w = p.wc * ch;
+    p.page_utilization = double(p.wc) * p.hpc / double(E);
+
+    // --- steady-state rates -------------------------------------------
+    const auto &t = flash_.timing;
+    const double act_bytes = quant_.act_bits / 8.0;
+    const double wbytes = quant_.weight_bits / 8.0;
+    const double bus = t.busBytesPerNs();
+
+    const auto in_bytes = std::uint64_t(std::ceil(p.wc * act_bytes));
+    const std::uint64_t out_bytes =
+        std::uint64_t(p.hpc) * options_.out_elem_bytes;
+
+    // Per-die page cadence: register move + max(array read, compute).
+    const Tick compute =
+        t.computeTime(std::uint64_t(p.wc) * p.hpc,
+                      std::uint32_t(E));
+    const Tick cadence = t.t_reg_move + std::max(t.t_read, compute);
+
+    // High-priority bus time consumed per tile on one channel: one
+    // input broadcast + one result grant per core.
+    Tick high_bus = Tick(t.grant_overhead + in_bytes / bus) +
+                    cc * Tick(t.grant_overhead + out_bytes / bus);
+
+    p.t_tile = std::max(cadence, high_bus);
+    p.rate_rc = std::min(1.0, double(high_bus) / double(p.t_tile));
+
+    const double page_weight_bytes = double(p.wc) * p.hpc * wbytes;
+    p.r_rc_gbps = double(cc) * page_weight_bytes / double(p.t_tile);
+    p.r_rd_gbps = options_.hybrid ? (1.0 - p.rate_rc) * bus : 0.0;
+    p.tr = (p.r_rd_gbps > 0.0)
+               ? Tick(double(flash_.geometry.page_bytes) / p.r_rd_gbps)
+               : kTickMax;
+    p.alpha = options_.hybrid
+                  ? p.r_rc_gbps / (p.r_rc_gbps + p.r_rd_gbps)
+                  : 1.0;
+
+    // --- row split -----------------------------------------------------
+    // Flash takes whole hpc-row units so every atomic tile is a full
+    // page; the NPU takes the remainder (including the ragged edge).
+    const std::uint64_t total_units = rows / p.hpc; // full units only
+    std::uint64_t flash_units;
+    if (!options_.hybrid) {
+        flash_units = (rows + p.hpc - 1) / p.hpc; // everything, ragged too
+    } else {
+        flash_units = std::uint64_t(
+            std::llround(p.alpha * double(rows) / double(p.hpc)));
+        flash_units = std::min(flash_units, total_units);
+    }
+    p.flash_core_rows = std::uint32_t(flash_units);
+    p.flash_rows = options_.hybrid
+                       ? flash_units * p.hpc
+                       : rows; // no-tiling mode: flash covers all rows
+    p.npu_rows = rows - p.flash_rows;
+    p.n_col_tiles =
+        std::uint32_t((cols + std::uint64_t(p.tile.w) - 1) / p.tile.w);
+    return p;
+}
+
+} // namespace camllm::core

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Hardware-aware tiling (paper Section V).
+ *
+ * Chooses the tile shape (Hreq x Wreq) that minimizes channel traffic
+ * for a GeMV, then splits the rows between flash read-compute and NPU
+ * read streams so both finish together.
+ *
+ * Derivation implemented here (E = weight elements per page, ch =
+ * channels, cc = compute cores per channel):
+ *   Trans(tile)      = Wreq + ch * Hreq      (input broadcast reuse)
+ *   s.t. Hreq * Wreq = ch * cc * E           (atomic tile == one page)
+ *   => Hreq* = sqrt(cc*E),  Wreq* = ch * sqrt(cc*E)   (AM-GM)
+ * Clamped to the actual matrix: Wreq <= cols (tall-thin matrices make
+ * wide tiles impossible and cost extra traffic; Fig 13 quantifies
+ * forcing other shapes).
+ *
+ * The workload split equalizes the two weight-consumption rates:
+ *   R_rc = cc * pageWeightBytes / t_tile     (on-die compute)
+ *   R_rd = (1 - rate_rc) * bw                (reads in bus bubbles)
+ *   alpha = R_rc / (R_rc + R_rd)
+ * which is the paper's alpha = tr / (tr + trc) normalized per page.
+ */
+
+#ifndef CAMLLM_CORE_TILING_H
+#define CAMLLM_CORE_TILING_H
+
+#include <cstdint>
+#include <optional>
+
+#include "common/units.h"
+#include "flash/params.h"
+#include "llm/quant.h"
+
+namespace camllm::core {
+
+/** A tile shape in weight elements (whole-flash tile). */
+struct TileShape
+{
+    std::uint32_t h = 0;
+    std::uint32_t w = 0;
+};
+
+/** Planner knobs (ablations + Fig 13 forced shapes). */
+struct TilingOptions
+{
+    /** false disables the NPU read share (Fig 14 "without tiling"). */
+    bool hybrid = true;
+
+    /** Force a specific tile shape (Fig 13). */
+    std::optional<TileShape> forced_tile;
+
+    /** Bytes per result-vector element returned by a core. */
+    std::uint32_t out_elem_bytes = 1;
+};
+
+/** Complete plan for one rows x cols weight GeMV. */
+struct TilePlan
+{
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+
+    // Tile geometry.
+    std::uint32_t wc = 0;  ///< per-channel tile width (elements)
+    std::uint32_t hpc = 0; ///< rows per core (atomic tile height)
+    TileShape tile;        ///< Hreq x Wreq as realized
+    double page_utilization = 0.0;
+
+    // Steady-state analytics.
+    Tick t_tile = 0;      ///< per-tile pipeline interval (trc analogue)
+    double rate_rc = 0.0; ///< high-priority bus duty
+    Tick tr = 0;          ///< sliced-read service time per page
+    double r_rc_gbps = 0.0;
+    double r_rd_gbps = 0.0;
+    double alpha = 1.0;
+
+    // Row split.
+    std::uint64_t flash_rows = 0;
+    std::uint64_t npu_rows = 0;
+    std::uint32_t flash_core_rows = 0; ///< hpc-row units on flash
+    std::uint32_t n_col_tiles = 0;
+
+    /** Channel bytes per full tile (input + results), analytics. */
+    double transBytesPerTile(std::uint32_t channels) const;
+};
+
+/** Computes TilePlans for a fixed flash + quantization context. */
+class TilingPlanner
+{
+  public:
+    TilingPlanner(const flash::FlashParams &flash,
+                  const llm::QuantSpec &quant,
+                  const TilingOptions &options = {});
+
+    /** Plan the split for a rows x cols weight matrix. */
+    TilePlan plan(std::uint64_t rows, std::uint64_t cols) const;
+
+    /** Weight elements per flash page under this quantization. */
+    std::uint32_t elemsPerPage() const { return elems_per_page_; }
+
+    const TilingOptions &options() const { return options_; }
+
+  private:
+    flash::FlashParams flash_;
+    llm::QuantSpec quant_;
+    TilingOptions options_;
+    std::uint32_t elems_per_page_;
+};
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_TILING_H

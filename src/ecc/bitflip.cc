@@ -1,0 +1,41 @@
+#include "bitflip.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camllm::ecc {
+
+std::uint64_t
+injectBitFlips(std::span<std::uint8_t> bytes, double ber, camllm::Rng &rng)
+{
+    CAMLLM_ASSERT(ber >= 0.0 && ber < 1.0, "BER %f out of range", ber);
+    if (ber == 0.0 || bytes.empty())
+        return 0;
+
+    const std::uint64_t n_bits = std::uint64_t(bytes.size()) * 8;
+    std::uint64_t flips = 0;
+    const double log1m = std::log1p(-ber);
+
+    // Jump between flip sites with geometric gaps: the index of the
+    // next flipped bit after i is i + 1 + Geometric(ber).
+    std::uint64_t i = 0;
+    for (;;) {
+        double u = rng.uniform();
+        // Guard u == 0 which would yield an infinite skip of 0.
+        if (u <= 0.0)
+            u = 1e-300;
+        double skip = std::floor(std::log(u) / log1m);
+        if (skip >= double(n_bits)) // also catches inf
+            break;
+        i += std::uint64_t(skip);
+        if (i >= n_bits)
+            break;
+        bytes[i / 8] ^= std::uint8_t(1u << (i % 8));
+        ++flips;
+        ++i;
+    }
+    return flips;
+}
+
+} // namespace camllm::ecc

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Flash retention-error injection: independent Bernoulli bit flips at
+ * a configurable bit error rate (BER), sampled with geometric skips so
+ * low rates over large arrays stay cheap.
+ */
+
+#ifndef CAMLLM_ECC_BITFLIP_H
+#define CAMLLM_ECC_BITFLIP_H
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.h"
+
+namespace camllm::ecc {
+
+/**
+ * Flip each bit of @p bytes independently with probability @p ber.
+ * @return the number of bits flipped.
+ */
+std::uint64_t injectBitFlips(std::span<std::uint8_t> bytes, double ber,
+                             camllm::Rng &rng);
+
+} // namespace camllm::ecc
+
+#endif // CAMLLM_ECC_BITFLIP_H

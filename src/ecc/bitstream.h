@@ -1,0 +1,76 @@
+/**
+ * @file
+ * LSB-first bit packing helpers for the outlier ECC's spare-area
+ * layout (records are 35 bits, so byte alignment cannot be assumed).
+ */
+
+#ifndef CAMLLM_ECC_BITSTREAM_H
+#define CAMLLM_ECC_BITSTREAM_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace camllm::ecc {
+
+/** Append-only bit writer; bits fill each byte LSB first. */
+class BitWriter
+{
+  public:
+    void
+    put(std::uint32_t value, unsigned bits)
+    {
+        CAMLLM_ASSERT(bits <= 32);
+        for (unsigned i = 0; i < bits; ++i) {
+            if (bit_ == 0)
+                bytes_.push_back(0);
+            if ((value >> i) & 1u)
+                bytes_.back() |= std::uint8_t(1u << bit_);
+            bit_ = (bit_ + 1) % 8;
+        }
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return bytes_; }
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+    unsigned bit_ = 0;
+};
+
+/** Sequential bit reader over a byte span. */
+class BitReader
+{
+  public:
+    explicit BitReader(std::span<const std::uint8_t> bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    std::uint32_t
+    get(unsigned bits)
+    {
+        CAMLLM_ASSERT(bits <= 32);
+        std::uint32_t v = 0;
+        for (unsigned i = 0; i < bits; ++i) {
+            std::size_t byte = pos_ / 8;
+            CAMLLM_ASSERT(byte < bytes_.size(), "bit stream exhausted");
+            if ((bytes_[byte] >> (pos_ % 8)) & 1u)
+                v |= 1u << i;
+            ++pos_;
+        }
+        return v;
+    }
+
+    std::size_t bitsRead() const { return pos_; }
+
+  private:
+    std::span<const std::uint8_t> bytes_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace camllm::ecc
+
+#endif // CAMLLM_ECC_BITSTREAM_H

@@ -1,0 +1,79 @@
+#include "hamming.h"
+
+#include "common/logging.h"
+
+namespace camllm::ecc {
+
+namespace {
+
+constexpr bool
+isPowerOfTwo(unsigned x)
+{
+    return x != 0 && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+std::uint32_t
+hammingEncode(std::uint16_t value)
+{
+    CAMLLM_ASSERT(value < (1u << kHammingDataBits),
+                  "value %u exceeds 14 bits", value);
+
+    // Bit i of the codeword is position i+1 in Hamming numbering.
+    std::uint32_t cw = 0;
+    unsigned vi = 0;
+    for (unsigned pos = 1; pos <= kHammingCodeBits; ++pos) {
+        if (isPowerOfTwo(pos))
+            continue; // parity slot
+        if ((value >> vi) & 1u)
+            cw |= 1u << (pos - 1);
+        ++vi;
+    }
+
+    for (unsigned k = 0; k < kHammingParityBits; ++k) {
+        const unsigned p = 1u << k;
+        unsigned parity = 0;
+        for (unsigned pos = 1; pos <= kHammingCodeBits; ++pos)
+            if ((pos & p) && ((cw >> (pos - 1)) & 1u))
+                parity ^= 1u;
+        if (parity)
+            cw |= 1u << (p - 1);
+    }
+    return cw;
+}
+
+HammingResult
+hammingDecode(std::uint32_t codeword)
+{
+    std::uint32_t cw = codeword & ((1u << kHammingCodeBits) - 1);
+    unsigned syndrome = 0;
+    for (unsigned pos = 1; pos <= kHammingCodeBits; ++pos)
+        if ((cw >> (pos - 1)) & 1u)
+            syndrome ^= pos;
+
+    HammingResult res;
+    if (syndrome == 0) {
+        res.status = HammingResult::Status::Ok;
+    } else if (syndrome <= kHammingCodeBits) {
+        cw ^= 1u << (syndrome - 1);
+        res.status = HammingResult::Status::Corrected;
+    } else {
+        res.status = HammingResult::Status::Uncorrectable;
+        return res;
+    }
+
+    std::uint16_t value = 0;
+    unsigned vi = 0;
+    for (unsigned pos = 1; pos <= kHammingCodeBits; ++pos) {
+        if (isPowerOfTwo(pos))
+            continue;
+        if ((cw >> (pos - 1)) & 1u)
+            value |= std::uint16_t(1u << vi);
+        ++vi;
+    }
+    res.value = value;
+    return res;
+}
+
+} // namespace camllm::ecc

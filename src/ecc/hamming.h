@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Hamming(19,14) single-error-correcting code for outlier addresses.
+ *
+ * The paper protects each 14-bit outlier address with a 5-bit private
+ * Hamming code: a 1-bit error is corrected on die; anything the code
+ * cannot resolve causes the record to be discarded (the outlier is
+ * then treated as unprotected). Note that, as with any SEC code, some
+ * 2-bit errors alias to a valid single-bit syndrome and miscorrect;
+ * those surface as a wrong (but in-range) address, which the paper's
+ * scheme tolerates because a stray vote only perturbs one element.
+ */
+
+#ifndef CAMLLM_ECC_HAMMING_H
+#define CAMLLM_ECC_HAMMING_H
+
+#include <cstdint>
+
+namespace camllm::ecc {
+
+/** Result of decoding one Hamming(19,14) codeword. */
+struct HammingResult
+{
+    enum class Status
+    {
+        Ok,           ///< syndrome clean
+        Corrected,    ///< single bit repaired
+        Uncorrectable ///< invalid syndrome; discard the record
+    };
+
+    std::uint16_t value = 0; ///< decoded 14-bit payload
+    Status status = Status::Ok;
+};
+
+/** Number of payload bits. */
+inline constexpr unsigned kHammingDataBits = 14;
+
+/** Number of parity bits. */
+inline constexpr unsigned kHammingParityBits = 5;
+
+/** Total codeword bits (14 + 5). */
+inline constexpr unsigned kHammingCodeBits =
+    kHammingDataBits + kHammingParityBits;
+
+/** Encode a 14-bit value into a 19-bit codeword. */
+std::uint32_t hammingEncode(std::uint16_t value);
+
+/** Decode a 19-bit codeword, correcting at most one flipped bit. */
+HammingResult hammingDecode(std::uint32_t codeword);
+
+} // namespace camllm::ecc
+
+#endif // CAMLLM_ECC_HAMMING_H

@@ -1,0 +1,163 @@
+#include "outlier_codec.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "ecc/bitstream.h"
+#include "ecc/hamming.h"
+
+namespace camllm::ecc {
+
+namespace {
+
+/** Magnitude of an INT8 value (|-128| == 128 handled). */
+inline int
+mag(std::int8_t v)
+{
+    int i = v;
+    return i < 0 ? -i : i;
+}
+
+/** Bitwise majority vote over @p copies (odd count). */
+std::uint8_t
+bitwiseMajority(std::span<const std::uint8_t> copies)
+{
+    std::uint8_t out = 0;
+    const std::size_t need = copies.size() / 2 + 1;
+    for (unsigned b = 0; b < 8; ++b) {
+        std::size_t ones = 0;
+        for (std::uint8_t c : copies)
+            if ((c >> b) & 1u)
+                ++ones;
+        if (ones >= need)
+            out |= std::uint8_t(1u << b);
+    }
+    return out;
+}
+
+} // namespace
+
+OutlierCodec::OutlierCodec(const OutlierCodecParams &params)
+    : params_(params)
+{
+    CAMLLM_ASSERT(params_.valid(), "invalid outlier codec parameters");
+}
+
+std::uint32_t
+OutlierCodec::protectedCount(std::uint32_t elems) const
+{
+    auto n = std::uint32_t(double(elems) * params_.protect_fraction);
+    if (n == 0 && elems > 0)
+        n = 1;
+    return std::min(n, elems);
+}
+
+std::uint32_t
+OutlierCodec::eccBytes(std::uint32_t elems) const
+{
+    const std::uint64_t record_bits =
+        kHammingCodeBits + 8ull * params_.value_copies;
+    std::uint64_t bits = 8ull * params_.threshold_copies +
+                         record_bits * protectedCount(elems);
+    return std::uint32_t((bits + 7) / 8);
+}
+
+std::vector<std::uint8_t>
+OutlierCodec::encode(std::span<const std::int8_t> page) const
+{
+    CAMLLM_ASSERT(!page.empty());
+    CAMLLM_ASSERT(page.size() <= (1u << kHammingDataBits),
+                  "page of %zu elems exceeds 14-bit addressing",
+                  page.size());
+
+    const std::uint32_t n_prot = protectedCount(std::uint32_t(page.size()));
+
+    // Top-n_prot indices by magnitude.
+    std::vector<std::uint32_t> idx(page.size());
+    std::iota(idx.begin(), idx.end(), 0u);
+    std::nth_element(idx.begin(), idx.begin() + (n_prot - 1), idx.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                         return mag(page[a]) > mag(page[b]);
+                     });
+    idx.resize(n_prot);
+
+    // Threshold: smallest protected magnitude.
+    int threshold = 255;
+    for (std::uint32_t i : idx)
+        threshold = std::min(threshold, mag(page[i]));
+
+    // Records are stored sorted by address.
+    std::sort(idx.begin(), idx.end());
+
+    BitWriter w;
+    for (std::uint32_t c = 0; c < params_.threshold_copies; ++c)
+        w.put(std::uint32_t(threshold) & 0xffu, 8);
+    for (std::uint32_t i : idx) {
+        w.put(hammingEncode(std::uint16_t(i)), kHammingCodeBits);
+        const auto value = std::uint8_t(page[i]);
+        for (std::uint32_t c = 0; c < params_.value_copies; ++c)
+            w.put(value, 8);
+    }
+    return w.take();
+}
+
+void
+OutlierCodec::decode(std::span<std::int8_t> page,
+                     std::span<const std::uint8_t> ecc,
+                     OutlierDecodeStats *stats) const
+{
+    CAMLLM_ASSERT(!page.empty());
+    OutlierDecodeStats local;
+    BitReader r(ecc);
+
+    // Threshold: bitwise majority over its redundant copies.
+    std::vector<std::uint8_t> tcopies(params_.threshold_copies);
+    for (auto &c : tcopies)
+        c = std::uint8_t(r.get(8));
+    const int threshold = bitwiseMajority(tcopies);
+
+    const std::uint32_t n_prot = protectedCount(std::uint32_t(page.size()));
+    std::vector<bool> is_protected(page.size(), false);
+
+    std::vector<std::uint8_t> votes(params_.value_copies + 1);
+    for (std::uint32_t rec = 0; rec < n_prot; ++rec) {
+        ++local.records;
+        const std::uint32_t cw = r.get(kHammingCodeBits);
+        HammingResult hr = hammingDecode(cw);
+        // Value copies are consumed even for dropped records to keep
+        // the stream aligned.
+        for (std::uint32_t c = 0; c < params_.value_copies; ++c)
+            votes[c + 1] = std::uint8_t(r.get(8));
+
+        if (hr.status == HammingResult::Status::Uncorrectable ||
+            hr.value >= page.size()) {
+            ++local.records_dropped;
+            continue;
+        }
+        if (hr.status == HammingResult::Status::Corrected)
+            ++local.addr_corrected;
+
+        const std::uint32_t addr = hr.value;
+        votes[0] = std::uint8_t(page[addr]);
+        const std::uint8_t voted = bitwiseMajority(votes);
+        if (voted != votes[0])
+            ++local.voted_repairs;
+        page[addr] = std::int8_t(voted);
+        is_protected[addr] = true;
+    }
+
+    // Clamp fake outliers: unprotected values cannot legitimately
+    // exceed the threshold.
+    for (std::size_t i = 0; i < page.size(); ++i) {
+        if (!is_protected[i] && mag(page[i]) > threshold) {
+            page[i] = 0;
+            ++local.clamped;
+        }
+    }
+
+    if (stats)
+        *stats += local;
+}
+
+} // namespace camllm::ecc

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The paper's outlier-oriented error correction code (Section VI).
+ *
+ * Per page: the top-1% largest-magnitude INT8 weights are recorded in
+ * the spare area as (Hamming-protected 14-bit address, N value
+ * copies); the smallest protected magnitude is stored as a threshold
+ * in 9 redundant copies. On decode, protected values are repaired by
+ * bitwise majority vote over {raw, copy1..copyN}; unprotected values
+ * whose magnitude exceeds the threshold must be flip-generated fake
+ * outliers and are clamped to zero.
+ *
+ * With N = 2 and raw bit-flip rate x, a protected bit survives unless
+ * at least 2 of its 3 instances flip, so the protected flip rate is
+ * ~3x^2 (1e-4 -> 3e-8), matching the paper's derivation.
+ */
+
+#ifndef CAMLLM_ECC_OUTLIER_CODEC_H
+#define CAMLLM_ECC_OUTLIER_CODEC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace camllm::ecc {
+
+/** Tunables of the outlier ECC (paper defaults). */
+struct OutlierCodecParams
+{
+    std::uint32_t value_copies = 2;     ///< N (must be even, >= 2)
+    std::uint32_t threshold_copies = 9; ///< redundancy of the threshold
+    double protect_fraction = 0.01;     ///< top fraction protected
+
+    bool
+    valid() const
+    {
+        return value_copies >= 2 && value_copies % 2 == 0 &&
+               threshold_copies >= 1 && threshold_copies % 2 == 1 &&
+               protect_fraction > 0.0 && protect_fraction <= 1.0;
+    }
+};
+
+/** Counters accumulated by decode(). */
+struct OutlierDecodeStats
+{
+    std::uint64_t records = 0;          ///< records examined
+    std::uint64_t voted_repairs = 0;    ///< protected values changed by vote
+    std::uint64_t clamped = 0;          ///< fake outliers zeroed
+    std::uint64_t addr_corrected = 0;   ///< addresses fixed by Hamming
+    std::uint64_t records_dropped = 0;  ///< uncorrectable / out-of-range
+
+    void
+    operator+=(const OutlierDecodeStats &o)
+    {
+        records += o.records;
+        voted_repairs += o.voted_repairs;
+        clamped += o.clamped;
+        addr_corrected += o.addr_corrected;
+        records_dropped += o.records_dropped;
+    }
+};
+
+/** Encoder/decoder for one page's outlier ECC. */
+class OutlierCodec
+{
+  public:
+    explicit OutlierCodec(const OutlierCodecParams &params = {});
+
+    const OutlierCodecParams &params() const { return params_; }
+
+    /** Protected element count for a page of @p elems weights. */
+    std::uint32_t protectedCount(std::uint32_t elems) const;
+
+    /** Spare-area bytes the code occupies for @p elems weights. */
+    std::uint32_t eccBytes(std::uint32_t elems) const;
+
+    /** Build the spare-area ECC for @p page. */
+    std::vector<std::uint8_t> encode(std::span<const std::int8_t> page)
+        const;
+
+    /**
+     * Repair @p page in place using (possibly corrupted) @p ecc.
+     * @p stats, when non-null, is accumulated into.
+     */
+    void decode(std::span<std::int8_t> page,
+                std::span<const std::uint8_t> ecc,
+                OutlierDecodeStats *stats = nullptr) const;
+
+  private:
+    OutlierCodecParams params_;
+};
+
+} // namespace camllm::ecc
+
+#endif // CAMLLM_ECC_OUTLIER_CODEC_H

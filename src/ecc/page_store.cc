@@ -1,0 +1,75 @@
+#include "page_store.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "ecc/bitflip.h"
+
+namespace camllm::ecc {
+
+PageStore::PageStore(const PageStoreParams &params)
+    : params_(params), codec_(params.codec)
+{
+    CAMLLM_ASSERT(params_.page_bytes > 0);
+    const std::uint32_t need = codec_.eccBytes(params_.page_bytes);
+    if (params_.ecc_enabled && need > params_.spare_bytes) {
+        fatal("outlier ECC needs %u spare bytes per page, only %u exist",
+              need, params_.spare_bytes);
+    }
+}
+
+void
+PageStore::load(std::span<const std::int8_t> blob)
+{
+    CAMLLM_ASSERT(!blob.empty());
+    blob_bytes_ = blob.size();
+    pages_.clear();
+    const std::size_t psize = params_.page_bytes;
+    const std::size_t n_pages = (blob.size() + psize - 1) / psize;
+    pages_.reserve(n_pages);
+    for (std::size_t p = 0; p < n_pages; ++p) {
+        Page page;
+        const std::size_t off = p * psize;
+        const std::size_t len = std::min(psize, blob.size() - off);
+        page.data.assign(blob.begin() + off, blob.begin() + off + len);
+        page.spare.assign(params_.spare_bytes, 0);
+        if (params_.ecc_enabled) {
+            auto ecc = codec_.encode(page.data);
+            CAMLLM_ASSERT(ecc.size() <= page.spare.size());
+            std::copy(ecc.begin(), ecc.end(), page.spare.begin());
+        }
+        pages_.push_back(std::move(page));
+    }
+}
+
+std::uint64_t
+PageStore::injectErrors(double ber, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::uint64_t flips = 0;
+    for (auto &page : pages_) {
+        auto *raw = reinterpret_cast<std::uint8_t *>(page.data.data());
+        flips += injectBitFlips({raw, page.data.size()}, ber, rng);
+        flips += injectBitFlips({page.spare.data(), page.spare.size()},
+                                ber, rng);
+    }
+    return flips;
+}
+
+std::vector<std::int8_t>
+PageStore::readBack(OutlierDecodeStats *stats) const
+{
+    std::vector<std::int8_t> blob;
+    blob.reserve(blob_bytes_);
+    for (const auto &page : pages_) {
+        std::vector<std::int8_t> data = page.data;
+        if (params_.ecc_enabled)
+            codec_.decode(data, page.spare, stats);
+        blob.insert(blob.end(), data.begin(), data.end());
+    }
+    CAMLLM_ASSERT(blob.size() == blob_bytes_);
+    return blob;
+}
+
+} // namespace camllm::ecc

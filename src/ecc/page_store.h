@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flash-page-backed weight storage: packs a weight blob into pages
+ * with spare areas, encodes the outlier ECC, injects retention
+ * errors, and reads the (repaired) blob back. This is the bit-exact
+ * data path behind the accuracy experiments (Fig 3b / Fig 10).
+ */
+
+#ifndef CAMLLM_ECC_PAGE_STORE_H
+#define CAMLLM_ECC_PAGE_STORE_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecc/outlier_codec.h"
+
+namespace camllm::ecc {
+
+/** Page-store configuration (defaults match the paper's flash). */
+struct PageStoreParams
+{
+    std::uint32_t page_bytes = 16 * 1024;
+    std::uint32_t spare_bytes = 1664;
+    bool ecc_enabled = true;
+    OutlierCodecParams codec;
+};
+
+/** Weight blob stored as flash pages + spare-area ECC. */
+class PageStore
+{
+  public:
+    explicit PageStore(const PageStoreParams &params = {});
+
+    /** Pack @p blob into pages, encoding the spare area. */
+    void load(std::span<const std::int8_t> blob);
+
+    /**
+     * Flip every stored bit (data and spare alike) with probability
+     * @p ber. @return the number of bits flipped.
+     */
+    std::uint64_t injectErrors(double ber, std::uint64_t seed);
+
+    /** Decode all pages (if ECC is enabled) and return the blob. */
+    std::vector<std::int8_t> readBack(OutlierDecodeStats *stats = nullptr)
+        const;
+
+    std::size_t pageCount() const { return pages_.size(); }
+    const PageStoreParams &params() const { return params_; }
+
+  private:
+    struct Page
+    {
+        std::vector<std::int8_t> data;
+        std::vector<std::uint8_t> spare;
+    };
+
+    PageStoreParams params_;
+    OutlierCodec codec_;
+    std::vector<Page> pages_;
+    std::size_t blob_bytes_ = 0;
+};
+
+} // namespace camllm::ecc
+
+#endif // CAMLLM_ECC_PAGE_STORE_H

@@ -1,0 +1,22 @@
+#include "retention.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace camllm::ecc {
+
+double
+retentionBer(double retention_hours, double pe_cycles,
+             const RetentionParams &p)
+{
+    CAMLLM_ASSERT(retention_hours >= 0.0 && pe_cycles >= 0.0);
+    const double t = std::max(retention_hours, 1.0);
+    const double wear = pe_cycles / p.pe_reference;
+    const double ber = p.base_ber * std::pow(t, p.time_exponent) *
+                       (1.0 + p.pe_quadratic * wear * wear);
+    return std::min(ber, 0.499);
+}
+
+} // namespace camllm::ecc

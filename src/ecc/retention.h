@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Empirical flash retention-error model.
+ *
+ * The paper motivates the on-die ECC with published NAND reliability
+ * data: a fresh 3D TLC chip reaches ~1e-4 raw bit error rate after
+ * hours of retention [Zhao et al., ICTA'23], and worn parts exceed
+ * 1e-2 [Cai et al., Intel Tech Journal'13]. This model is a smooth
+ * fit through those anchors: BER grows roughly linearly with
+ * retention time on a log-log scale and quadratically with P/E wear.
+ */
+
+#ifndef CAMLLM_ECC_RETENTION_H
+#define CAMLLM_ECC_RETENTION_H
+
+#include <cstdint>
+
+namespace camllm::ecc {
+
+/** Fit constants for the retention model (3D TLC defaults). */
+struct RetentionParams
+{
+    double base_ber = 2e-5;       ///< fresh part, ~1 hour retention
+    double time_exponent = 0.45;  ///< BER ~ t^a in retention hours
+    double pe_reference = 3000.0; ///< rated P/E cycles
+    double pe_quadratic = 8.0;    ///< wear multiplier at pe_reference
+};
+
+/**
+ * Raw bit error rate after @p retention_hours at @p pe_cycles of
+ * program/erase wear. Monotone in both arguments; clamped to [0, 0.5).
+ */
+double retentionBer(double retention_hours, double pe_cycles,
+                    const RetentionParams &params = {});
+
+} // namespace camllm::ecc
+
+#endif // CAMLLM_ECC_RETENTION_H

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Physical page addressing within the flash hierarchy.
+ */
+
+#ifndef CAMLLM_FLASH_ADDRESS_H
+#define CAMLLM_FLASH_ADDRESS_H
+
+#include <cstdint>
+
+#include "flash/params.h"
+
+namespace camllm::flash {
+
+/** Physical address of one page: channel / chip / die / plane / block /
+ *  page. */
+struct PageAddress
+{
+    std::uint32_t channel = 0;
+    std::uint32_t chip = 0;
+    std::uint32_t die = 0;
+    std::uint32_t plane = 0;
+    std::uint32_t block = 0;
+    std::uint32_t page = 0;
+
+    bool
+    operator==(const PageAddress &o) const
+    {
+        return channel == o.channel && chip == o.chip && die == o.die &&
+               plane == o.plane && block == o.block && page == o.page;
+    }
+
+    /** @return true when every coordinate is within @p g. */
+    bool
+    validFor(const FlashGeometry &g) const
+    {
+        return channel < g.channels && chip < g.chips_per_channel &&
+               die < g.dies_per_chip && plane < g.planes_per_die &&
+               block < g.blocks_per_plane && page < g.pages_per_block;
+    }
+};
+
+/**
+ * Bijective page <-> linear index mapping. Linear order is
+ * page-major within block within plane within die within chip within
+ * channel, i.e.\ the channel is the slowest-varying coordinate.
+ */
+class PageIndexer
+{
+  public:
+    explicit PageIndexer(const FlashGeometry &g) : g_(g) {}
+
+    std::uint64_t
+    toLinear(const PageAddress &a) const
+    {
+        std::uint64_t idx = a.channel;
+        idx = idx * g_.chips_per_channel + a.chip;
+        idx = idx * g_.dies_per_chip + a.die;
+        idx = idx * g_.planes_per_die + a.plane;
+        idx = idx * g_.blocks_per_plane + a.block;
+        idx = idx * g_.pages_per_block + a.page;
+        return idx;
+    }
+
+    PageAddress
+    toAddress(std::uint64_t idx) const
+    {
+        PageAddress a;
+        a.page = std::uint32_t(idx % g_.pages_per_block);
+        idx /= g_.pages_per_block;
+        a.block = std::uint32_t(idx % g_.blocks_per_plane);
+        idx /= g_.blocks_per_plane;
+        a.plane = std::uint32_t(idx % g_.planes_per_die);
+        idx /= g_.planes_per_die;
+        a.die = std::uint32_t(idx % g_.dies_per_chip);
+        idx /= g_.dies_per_chip;
+        a.chip = std::uint32_t(idx % g_.chips_per_channel);
+        idx /= g_.chips_per_channel;
+        a.channel = std::uint32_t(idx);
+        return a;
+    }
+
+    std::uint64_t totalPages() const { return g_.totalPages(); }
+
+  private:
+    FlashGeometry g_;
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_ADDRESS_H

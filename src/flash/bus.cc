@@ -1,0 +1,67 @@
+#include "bus.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace camllm::flash {
+
+void
+ChannelBus::request(BusPriority prio, std::uint64_t bytes,
+                    std::function<void()> done, const char *label)
+{
+    CAMLLM_ASSERT(bytes > 0, "zero-byte bus transaction");
+    Txn txn{next_seq_++, bytes, std::move(done), label};
+    if (prio == BusPriority::High)
+        high_.push_back(std::move(txn));
+    else
+        low_.push_back(std::move(txn));
+    tryStart();
+}
+
+void
+ChannelBus::tryStart()
+{
+    if (busy_now_)
+        return;
+    if (high_.empty() && low_.empty())
+        return;
+
+    // With Slice Control the high class always wins; a conventional
+    // channel serves transfers strictly in arrival order.
+    bool take_high;
+    if (high_.empty()) {
+        take_high = false;
+    } else if (low_.empty()) {
+        take_high = true;
+    } else if (priority_) {
+        take_high = true;
+    } else {
+        take_high = high_.front().seq < low_.front().seq;
+    }
+    BusPriority prio = take_high ? BusPriority::High : BusPriority::Low;
+    auto &queue = take_high ? high_ : low_;
+    Txn txn = std::move(queue.front());
+    queue.pop_front();
+
+    busy_now_ = true;
+    Tick start = eq_.now();
+    Tick end = start + grantTime(txn.bytes);
+    busy_.addBusy(start, end);
+    if (prio == BusPriority::High)
+        bytes_high_ += txn.bytes;
+    else
+        bytes_low_ += txn.bytes;
+    ++grants_;
+
+    if (trace_)
+        trace_(GrantTrace{start, end, prio, txn.bytes, txn.label});
+
+    eq_.schedule(end, [this, done = std::move(txn.done)]() mutable {
+        busy_now_ = false;
+        done();
+        tryStart();
+    });
+}
+
+} // namespace camllm::flash

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Flash channel bus model.
+ *
+ * The channel is a half-duplex 8-bit bus shared by every chip on the
+ * channel; only one transfer proceeds at a time. Read-compute traffic
+ * (input-vector broadcasts and result vectors) is latency critical and
+ * tiny, so it is arbitrated ahead of bulk read-page slices. Grants are
+ * non-preemptive: once a transfer starts it occupies the bus to the
+ * end, which is exactly why unsliced page reads block read-compute
+ * requests (Figure 6 of the paper).
+ */
+
+#ifndef CAMLLM_FLASH_BUS_H
+#define CAMLLM_FLASH_BUS_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "sim/event_queue.h"
+
+namespace camllm::flash {
+
+/** Arbitration class of a bus transaction. */
+enum class BusPriority
+{
+    High, ///< read-compute inputs / results
+    Low   ///< read-page data slices
+};
+
+/** Priority-arbitrated, non-preemptive channel bus. */
+class ChannelBus
+{
+  public:
+    /** Trace record emitted per completed grant (for Fig 6). */
+    struct GrantTrace
+    {
+        Tick start;
+        Tick end;
+        BusPriority priority;
+        std::uint64_t bytes;
+        const char *label;
+    };
+
+    using TraceHook = std::function<void(const GrantTrace &)>;
+
+    /**
+     * @param priority_arbitration when true (Slice Control present)
+     * read-compute traffic bypasses queued read slices; when false the
+     * bus is a plain FIFO, as in a conventional flash channel.
+     */
+    ChannelBus(EventQueue &eq, double bytes_per_ns, Tick grant_overhead,
+               bool priority_arbitration = true)
+        : eq_(eq), bytes_per_ns_(bytes_per_ns),
+          grant_overhead_(grant_overhead),
+          priority_(priority_arbitration)
+    {
+    }
+
+    /**
+     * Request a bus grant for @p bytes. @p done runs when the transfer
+     * completes. @p label is only used for tracing.
+     */
+    void request(BusPriority prio, std::uint64_t bytes,
+                 std::function<void()> done, const char *label = "");
+
+    /** Install a per-grant trace hook (nullptr to disable). */
+    void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
+
+    const BusyTracker &busy() const { return busy_; }
+    std::uint64_t bytesHigh() const { return bytes_high_; }
+    std::uint64_t bytesLow() const { return bytes_low_; }
+    std::uint64_t grants() const { return grants_; }
+    bool idle() const { return !busy_now_; }
+
+    /** Time to move @p bytes including the per-grant overhead. */
+    Tick
+    grantTime(std::uint64_t bytes) const
+    {
+        return grant_overhead_ + transferTime(bytes, bytes_per_ns_);
+    }
+
+  private:
+    struct Txn
+    {
+        std::uint64_t seq;
+        std::uint64_t bytes;
+        std::function<void()> done;
+        const char *label;
+    };
+
+    void tryStart();
+
+    EventQueue &eq_;
+    double bytes_per_ns_;
+    Tick grant_overhead_;
+    bool priority_;
+    std::uint64_t next_seq_ = 0;
+    std::deque<Txn> high_;
+    std::deque<Txn> low_;
+    bool busy_now_ = false;
+    BusyTracker busy_;
+    std::uint64_t bytes_high_ = 0;
+    std::uint64_t bytes_low_ = 0;
+    std::uint64_t grants_ = 0;
+    TraceHook trace_;
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_BUS_H

@@ -1,0 +1,153 @@
+#include "channel_engine.h"
+
+#include "common/logging.h"
+
+namespace camllm::flash {
+
+ChannelEngine::ChannelEngine(EventQueue &eq, const FlashParams &params,
+                             Listener &listener,
+                             std::uint32_t tile_window,
+                             bool slice_control)
+    : eq_(eq), params_(params), listener_(listener),
+      tile_window_(tile_window),
+      bus_(eq, params.timing.busBytesPerNs(), params.timing.grant_overhead,
+           slice_control)
+{
+    CAMLLM_ASSERT(tile_window_ > 0);
+    const std::uint32_t n_dies = params_.geometry.diesPerChannel();
+    DieModel::Callbacks cbs;
+    cbs.input_ready = [this](std::uint32_t seq) { return inputReady(seq); };
+    cbs.rc_result_delivered = [this](const RcPageJob &j) {
+        onRcResultDelivered(j);
+    };
+    cbs.read_delivered = [this](const ReadPageJob &j) { onReadDelivered(j); };
+    cbs.read_slot_free = [this] { dispatchReads(); };
+    dies_.reserve(n_dies);
+    for (std::uint32_t i = 0; i < n_dies; ++i)
+        dies_.push_back(std::make_unique<DieModel>(eq_, bus_, params_, cbs));
+}
+
+void
+ChannelEngine::submitTile(const RcTileWork &tile)
+{
+    CAMLLM_ASSERT(tile.cores_used > 0 && tile.cores_used <= dies_.size(),
+                  "tile uses %u cores, channel has %zu dies",
+                  tile.cores_used, dies_.size());
+    CAMLLM_ASSERT(tile.input_bytes > 0 && tile.out_bytes_per_core > 0);
+    tile_queue_.push_back(tile);
+    tryActivate();
+}
+
+void
+ChannelEngine::submitRead(const ReadPageJob &job)
+{
+    read_queue_.push_back(job);
+    dispatchReads();
+}
+
+void
+ChannelEngine::tryActivate()
+{
+    while (active_.size() < tile_window_ && !tile_queue_.empty()) {
+        RcTileWork tile = tile_queue_.front();
+        tile_queue_.pop_front();
+        const std::uint32_t seq = next_tile_seq_++;
+        active_.emplace(seq,
+                        ActiveTile{tile.op_id, tile.cores_used, false});
+
+        // Broadcast the input slice to every engaged core's input
+        // buffer; a single grant serves all chips on the bus.
+        bus_.request(BusPriority::High, tile.input_bytes,
+                     [this, seq] {
+                         auto it = active_.find(seq);
+                         CAMLLM_ASSERT(it != active_.end());
+                         it->second.input_ready = true;
+                         for (auto &die : dies_)
+                             die->notifyInputArrived();
+                     },
+                     "rc-input");
+
+        RcPageJob job;
+        job.op_id = tile.op_id;
+        job.tile_seq = seq;
+        job.out_bytes = tile.out_bytes_per_core;
+        job.compute_time = tile.compute_time;
+        for (std::uint32_t c = 0; c < tile.cores_used; ++c)
+            dies_[c]->pushRcJob(job);
+    }
+}
+
+void
+ChannelEngine::dispatchReads()
+{
+    if (read_queue_.empty())
+        return;
+    // Round-robin over dies so read service spreads across planes.
+    const std::size_t n = dies_.size();
+    for (std::size_t probe = 0; probe < n && !read_queue_.empty(); ++probe) {
+        std::size_t d = (rr_die_ + probe) % n;
+        if (dies_[d]->canAcceptRead()) {
+            dies_[d]->pushReadJob(read_queue_.front());
+            read_queue_.pop_front();
+            rr_die_ = (d + 1) % n;
+        }
+    }
+}
+
+bool
+ChannelEngine::inputReady(std::uint32_t tile_seq) const
+{
+    auto it = active_.find(tile_seq);
+    CAMLLM_ASSERT(it != active_.end(),
+                  "compute references inactive tile %u", tile_seq);
+    return it->second.input_ready;
+}
+
+void
+ChannelEngine::onRcResultDelivered(const RcPageJob &job)
+{
+    auto it = active_.find(job.tile_seq);
+    CAMLLM_ASSERT(it != active_.end());
+    CAMLLM_ASSERT(it->second.results_remaining > 0);
+    if (--it->second.results_remaining == 0) {
+        active_.erase(it);
+        tryActivate();
+    }
+    listener_.onRcResult(job.op_id);
+}
+
+void
+ChannelEngine::onReadDelivered(const ReadPageJob &job)
+{
+    listener_.onReadDelivered(job.op_id, job.bytes);
+    dispatchReads();
+}
+
+std::uint64_t
+ChannelEngine::pagesComputed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : dies_)
+        n += d->pagesComputed();
+    return n;
+}
+
+std::uint64_t
+ChannelEngine::pagesRead() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : dies_)
+        n += d->pagesRead();
+    return n;
+}
+
+std::uint64_t
+ChannelEngine::arrayReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : dies_)
+        n += d->arrayReads();
+    return n;
+}
+
+} // namespace camllm::flash

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-channel scheduler: owns the channel bus and the dies behind it,
+ * runs the read-compute tile window (Compute Control + input-buffer
+ * credit) and dispatches ordinary page reads to idle read planes
+ * (Slice Control's partner on the controller side).
+ */
+
+#ifndef CAMLLM_FLASH_CHANNEL_ENGINE_H
+#define CAMLLM_FLASH_CHANNEL_ENGINE_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "flash/bus.h"
+#include "flash/die.h"
+#include "flash/params.h"
+#include "flash/work.h"
+#include "sim/event_queue.h"
+
+namespace camllm::flash {
+
+/** Scheduler for one flash channel and its dies. */
+class ChannelEngine
+{
+  public:
+    /** Completion upcalls to the owner (the Cambricon-LLM engine). */
+    struct Listener
+    {
+        virtual ~Listener() = default;
+        /** One core's read-compute result reached the NPU. */
+        virtual void onRcResult(std::uint64_t op_id) = 0;
+        /** One read page's data fully reached the NPU. */
+        virtual void onReadDelivered(std::uint64_t op_id,
+                                     std::uint32_t bytes) = 0;
+    };
+
+    /**
+     * @param slice_control enables the paper's Slice Control: priority
+     * bus arbitration for rc traffic (the read-slicing half lives in
+     * each ReadPageJob's `sliced` flag).
+     */
+    ChannelEngine(EventQueue &eq, const FlashParams &params,
+                  Listener &listener, std::uint32_t tile_window = 3,
+                  bool slice_control = true);
+
+    /** Queue a read-compute tile (this channel's slice of it). */
+    void submitTile(const RcTileWork &tile);
+
+    /** Queue an ordinary page read for the NPU. */
+    void submitRead(const ReadPageJob &job);
+
+    ChannelBus &bus() { return bus_; }
+    const ChannelBus &bus() const { return bus_; }
+    DieModel &die(std::size_t i) { return *dies_[i]; }
+    std::size_t dieCount() const { return dies_.size(); }
+
+    /** Tiles submitted but not yet fully completed. */
+    std::size_t tilesInFlight() const
+    {
+        return tile_queue_.size() + active_.size();
+    }
+
+    std::size_t readBacklog() const { return read_queue_.size(); }
+
+    std::uint64_t pagesComputed() const;
+    std::uint64_t pagesRead() const;
+    std::uint64_t arrayReads() const;
+
+  private:
+    void tryActivate();
+    void dispatchReads();
+    bool inputReady(std::uint32_t tile_seq) const;
+    void onRcResultDelivered(const RcPageJob &job);
+    void onReadDelivered(const ReadPageJob &job);
+
+    struct ActiveTile
+    {
+        std::uint64_t op_id;
+        std::uint32_t results_remaining;
+        bool input_ready = false;
+    };
+
+    EventQueue &eq_;
+    FlashParams params_;
+    Listener &listener_;
+    std::uint32_t tile_window_;
+
+    ChannelBus bus_;
+    std::vector<std::unique_ptr<DieModel>> dies_;
+
+    std::deque<RcTileWork> tile_queue_;
+    std::map<std::uint32_t, ActiveTile> active_;
+    std::uint32_t next_tile_seq_ = 0;
+
+    std::deque<ReadPageJob> read_queue_;
+    std::size_t rr_die_ = 0; ///< round-robin cursor for read dispatch
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_CHANNEL_ENGINE_H

@@ -1,0 +1,144 @@
+#include "die.h"
+
+#include <memory>
+
+#include "common/logging.h"
+
+namespace camllm::flash {
+
+void
+DieModel::pushRcJob(const RcPageJob &job)
+{
+    rc_queue_.push_back(job);
+    advanceRc();
+}
+
+std::size_t
+DieModel::rcBacklog() const
+{
+    std::size_t n = rc_queue_.size();
+    n += rc_reading_.has_value();
+    n += rc_data_reg_.has_value();
+    n += rc_cache_reg_.has_value();
+    return n;
+}
+
+void
+DieModel::advanceRc()
+{
+    // Stage 1: array read into the data register. Per the paper's
+    // read-compute flow the input vector is delivered first (step 1)
+    // and only then is the weight page fetched (step 2); the plane
+    // also waits for the data register to be handed off.
+    if (!rc_reading_ && !rc_data_reg_ && !rc_queue_.empty() &&
+        cbs_.input_ready(rc_queue_.front().tile_seq)) {
+        rc_reading_ = rc_queue_.front();
+        rc_queue_.pop_front();
+        ++array_reads_;
+        eq_.scheduleIn(params_.timing.t_read, [this] {
+            rc_data_reg_ = rc_reading_;
+            rc_reading_.reset();
+            advanceRc();
+        });
+    }
+
+    // Stage 2: data register -> cache register move.
+    if (rc_data_reg_ && !rc_cache_reg_ && !rc_moving_) {
+        rc_moving_ = true;
+        eq_.scheduleIn(params_.timing.t_reg_move, [this] {
+            rc_cache_reg_ = rc_data_reg_;
+            rc_data_reg_.reset();
+            rc_moving_ = false;
+            advanceRc();
+        });
+    }
+
+    // Stage 3: compute, gated on the broadcast input vector.
+    if (rc_cache_reg_ && !core_busy_ &&
+        cbs_.input_ready(rc_cache_reg_->tile_seq)) {
+        core_busy_ = true;
+        const Tick dur = rc_cache_reg_->compute_time;
+        core_busy_stat_.addBusy(eq_.now(), eq_.now() + dur);
+        eq_.scheduleIn(dur, [this] {
+            RcPageJob job = *rc_cache_reg_;
+            rc_cache_reg_.reset();
+            core_busy_ = false;
+            ++pages_computed_;
+            // The result waits in the output buffer for a bus grant.
+            bus_.request(BusPriority::High, job.out_bytes,
+                         [this, job] { cbs_.rc_result_delivered(job); },
+                         "rc-result");
+            advanceRc();
+        });
+    }
+}
+
+bool
+DieModel::canAcceptRead() const
+{
+    return !rd_reading_ && !rd_data_reg_;
+}
+
+void
+DieModel::pushReadJob(const ReadPageJob &job)
+{
+    CAMLLM_ASSERT(canAcceptRead(), "read plane busy");
+    CAMLLM_ASSERT(job.bytes > 0 &&
+                  job.bytes <= params_.geometry.page_bytes,
+                  "read job of %u bytes", job.bytes);
+    rd_reading_ = job;
+    ++array_reads_;
+    eq_.scheduleIn(params_.timing.t_read, [this] {
+        rd_data_reg_ = rd_reading_;
+        rd_reading_.reset();
+        advanceRead();
+    });
+}
+
+void
+DieModel::advanceRead()
+{
+    // Data register -> cache register; frees the plane for the next
+    // array read.
+    if (rd_data_reg_ && !rd_cache_reg_ && !rd_moving_) {
+        rd_moving_ = true;
+        eq_.scheduleIn(params_.timing.t_reg_move, [this] {
+            rd_cache_reg_ = rd_data_reg_;
+            rd_data_reg_.reset();
+            rd_moving_ = false;
+            cbs_.read_slot_free();
+            advanceRead();
+        });
+    }
+
+    // Drain the cache register over the channel, slice by slice when
+    // Slice Control is enabled, or as one monolithic grant otherwise.
+    if (rd_cache_reg_ && !rd_draining_) {
+        rd_draining_ = true;
+        const ReadPageJob job = *rd_cache_reg_;
+        const std::uint32_t slice = params_.timing.slice_bytes;
+        std::uint32_t n_slices =
+            job.sliced ? (job.bytes + slice - 1) / slice : 1;
+        auto remaining = std::make_shared<std::uint32_t>(n_slices);
+        std::uint32_t left = job.bytes;
+        for (std::uint32_t i = 0; i < n_slices; ++i) {
+            std::uint32_t chunk =
+                job.sliced ? std::min(slice, left) : job.bytes;
+            left -= chunk;
+            bus_.request(BusPriority::Low, chunk,
+                         [this, remaining] {
+                             if (--*remaining == 0) {
+                                 ReadPageJob done = *rd_cache_reg_;
+                                 rd_cache_reg_.reset();
+                                 rd_draining_ = false;
+                                 ++pages_read_;
+                                 cbs_.read_delivered(done);
+                                 advanceRead();
+                             }
+                         },
+                         "read-slice");
+        }
+    }
+}
+
+} // namespace camllm::flash

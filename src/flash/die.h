@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Timing model of one flash die with on-die processing.
+ *
+ * Per the Cambricon-LLM design each die has two planes and one shared
+ * Compute Core. One plane is dedicated to the read-compute stream (its
+ * pages feed the core) while the other serves ordinary page reads that
+ * stream weights to the NPU. Each plane has a data register (filled by
+ * the tR array read) and a cache register (drained by the core or the
+ * channel), giving the classic two-stage pipeline: the next array read
+ * overlaps the consumption of the previous page.
+ */
+
+#ifndef CAMLLM_FLASH_DIE_H
+#define CAMLLM_FLASH_DIE_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+
+#include "flash/bus.h"
+#include "flash/params.h"
+#include "flash/work.h"
+#include "sim/event_queue.h"
+
+namespace camllm::flash {
+
+/** Event-driven model of one on-die-processing flash die. */
+class DieModel
+{
+  public:
+    /** Upcalls into the per-channel scheduler. */
+    struct Callbacks
+    {
+        /** Is tile @p tile_seq's input vector in the input buffer? */
+        std::function<bool(std::uint32_t tile_seq)> input_ready;
+        /** A compute result finished its bus grant. */
+        std::function<void(const RcPageJob &)> rc_result_delivered;
+        /** A read page finished its last bus slice. */
+        std::function<void(const ReadPageJob &)> read_delivered;
+        /** The read plane can accept another job. */
+        std::function<void()> read_slot_free;
+    };
+
+    DieModel(EventQueue &eq, ChannelBus &bus, const FlashParams &params,
+             Callbacks cbs)
+        : eq_(eq), bus_(bus), params_(params), cbs_(std::move(cbs))
+    {
+    }
+
+    // --- read-compute stream ---------------------------------------
+    /** Queue an atomic-tile page for the compute plane. */
+    void pushRcJob(const RcPageJob &job);
+
+    /** Re-evaluate the core (called when an input vector arrives). */
+    void notifyInputArrived() { advanceRc(); }
+
+    /** Jobs queued or in flight on the compute plane. */
+    std::size_t rcBacklog() const;
+
+    // --- ordinary read stream ---------------------------------------
+    /** @return true when the read plane can start another array read. */
+    bool canAcceptRead() const;
+
+    /** Start a page read for the NPU. @pre canAcceptRead(). */
+    void pushReadJob(const ReadPageJob &job);
+
+    // --- statistics ---------------------------------------------------
+    std::uint64_t pagesComputed() const { return pages_computed_; }
+    std::uint64_t pagesRead() const { return pages_read_; }
+    std::uint64_t arrayReads() const { return array_reads_; }
+    const BusyTracker &coreBusy() const { return core_busy_stat_; }
+
+  private:
+    void advanceRc();
+    void advanceRead();
+
+    EventQueue &eq_;
+    ChannelBus &bus_;
+    FlashParams params_;
+    Callbacks cbs_;
+
+    // read-compute plane pipeline
+    std::deque<RcPageJob> rc_queue_;
+    std::optional<RcPageJob> rc_reading_;  ///< array read in flight
+    std::optional<RcPageJob> rc_data_reg_;
+    std::optional<RcPageJob> rc_cache_reg_;
+    bool rc_moving_ = false; ///< data->cache move in flight
+    bool core_busy_ = false;
+
+    // read plane pipeline
+    std::optional<ReadPageJob> rd_reading_;
+    std::optional<ReadPageJob> rd_data_reg_;
+    std::optional<ReadPageJob> rd_cache_reg_;
+    bool rd_moving_ = false;
+    bool rd_draining_ = false; ///< slices of cache page on the bus
+
+    std::uint64_t pages_computed_ = 0;
+    std::uint64_t pages_read_ = 0;
+    std::uint64_t array_reads_ = 0;
+    BusyTracker core_busy_stat_;
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_DIE_H

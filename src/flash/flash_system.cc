@@ -1,0 +1,83 @@
+#include "flash_system.h"
+
+#include "common/logging.h"
+
+namespace camllm::flash {
+
+FlashSystem::FlashSystem(EventQueue &eq, const FlashParams &params,
+                         Listener &listener, std::uint32_t tile_window,
+                         bool slice_control)
+    : params_(params)
+{
+    if (!params_.valid())
+        fatal("invalid flash configuration");
+    channels_.reserve(params_.geometry.channels);
+    for (std::uint32_t c = 0; c < params_.geometry.channels; ++c) {
+        channels_.push_back(std::make_unique<ChannelEngine>(
+            eq, params_, listener, tile_window, slice_control));
+    }
+}
+
+double
+FlashSystem::avgChannelUtilization(Tick elapsed) const
+{
+    if (elapsed == 0 || channels_.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (const auto &ch : channels_)
+        sum += ch->bus().busy().utilization(elapsed);
+    return sum / double(channels_.size());
+}
+
+std::uint64_t
+FlashSystem::channelBytes() const
+{
+    return channelBytesHigh() + channelBytesLow();
+}
+
+std::uint64_t
+FlashSystem::channelBytesHigh() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->bus().bytesHigh();
+    return n;
+}
+
+std::uint64_t
+FlashSystem::channelBytesLow() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->bus().bytesLow();
+    return n;
+}
+
+std::uint64_t
+FlashSystem::pagesComputed() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->pagesComputed();
+    return n;
+}
+
+std::uint64_t
+FlashSystem::pagesRead() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->pagesRead();
+    return n;
+}
+
+std::uint64_t
+FlashSystem::arrayReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->arrayReads();
+    return n;
+}
+
+} // namespace camllm::flash

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Facade over all flash channels: construction from FlashParams,
+ * work submission routing and aggregate statistics.
+ */
+
+#ifndef CAMLLM_FLASH_FLASH_SYSTEM_H
+#define CAMLLM_FLASH_FLASH_SYSTEM_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "flash/channel_engine.h"
+#include "flash/params.h"
+#include "sim/event_queue.h"
+
+namespace camllm::flash {
+
+/** The complete on-die-processing flash device. */
+class FlashSystem
+{
+  public:
+    using Listener = ChannelEngine::Listener;
+
+    FlashSystem(EventQueue &eq, const FlashParams &params,
+                Listener &listener, std::uint32_t tile_window = 3,
+                bool slice_control = true);
+
+    const FlashParams &params() const { return params_; }
+    std::uint32_t channelCount() const { return params_.geometry.channels; }
+    ChannelEngine &channel(std::uint32_t c) { return *channels_[c]; }
+    const ChannelEngine &channel(std::uint32_t c) const
+    {
+        return *channels_[c];
+    }
+
+    /** Submit one channel's slice of a read-compute tile. */
+    void
+    submitTile(std::uint32_t ch, const RcTileWork &tile)
+    {
+        channels_[ch]->submitTile(tile);
+    }
+
+    /** Submit an ordinary page read on channel @p ch. */
+    void
+    submitRead(std::uint32_t ch, const ReadPageJob &job)
+    {
+        channels_[ch]->submitRead(job);
+    }
+
+    // --- aggregate statistics ------------------------------------------
+    /** Mean bus utilization across channels over [0, elapsed). */
+    double avgChannelUtilization(Tick elapsed) const;
+
+    /** Total bytes that crossed any channel bus (both classes). */
+    std::uint64_t channelBytes() const;
+
+    /** Bytes that crossed as read-compute inputs/results. */
+    std::uint64_t channelBytesHigh() const;
+
+    /** Bytes that crossed as ordinary read data. */
+    std::uint64_t channelBytesLow() const;
+
+    std::uint64_t pagesComputed() const;
+    std::uint64_t pagesRead() const;
+
+    /** Total NAND array reads (the dominant energy term). */
+    std::uint64_t arrayReads() const;
+
+  private:
+    FlashParams params_;
+    std::vector<std::unique_ptr<ChannelEngine>> channels_;
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_FLASH_SYSTEM_H

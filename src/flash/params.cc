@@ -1,0 +1,20 @@
+#include "params.h"
+
+namespace camllm::flash {
+
+bool
+FlashGeometry::valid() const
+{
+    return channels > 0 && chips_per_channel > 0 && dies_per_chip > 0 &&
+           planes_per_die > 0 && compute_cores_per_die > 0 &&
+           blocks_per_plane > 0 && pages_per_block > 0 && page_bytes > 0;
+}
+
+bool
+FlashTiming::valid() const
+{
+    return t_read > 0 && bus_mts > 0 && bus_bits > 0 && slice_bytes > 0 &&
+           core_gops >= 0.0;
+}
+
+} // namespace camllm::flash

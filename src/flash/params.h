@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Static configuration of the NAND flash subsystem: geometry (channel /
+ * chip / die / plane / block / page hierarchy) and timing (array read
+ * latency, channel bus rate, register moves, on-die compute).
+ *
+ * Defaults follow Table II of the Cambricon-LLM paper: 16 KB pages,
+ * tR = 30 us, 1000 MT/s x 8-bit channel bus (1 GB/s per channel), two
+ * dies per chip, two planes and one compute core per die.
+ */
+
+#ifndef CAMLLM_FLASH_PARAMS_H
+#define CAMLLM_FLASH_PARAMS_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camllm::flash {
+
+/** Physical organization of the flash subsystem. */
+struct FlashGeometry
+{
+    std::uint32_t channels = 8;
+    std::uint32_t chips_per_channel = 2;
+    std::uint32_t dies_per_chip = 2;
+    std::uint32_t planes_per_die = 2;
+    std::uint32_t compute_cores_per_die = 1;
+    std::uint32_t blocks_per_plane = 2048;
+    std::uint32_t pages_per_block = 256;
+    std::uint32_t page_bytes = 16 * 1024;
+    std::uint32_t spare_bytes = 1664; ///< per-page spare area (ECC home)
+
+    std::uint32_t diesPerChannel() const
+    {
+        return chips_per_channel * dies_per_chip;
+    }
+
+    /** Compute cores reachable from one channel ("ccorenum"). */
+    std::uint32_t coresPerChannel() const
+    {
+        return diesPerChannel() * compute_cores_per_die;
+    }
+
+    std::uint32_t totalDies() const { return channels * diesPerChannel(); }
+
+    std::uint64_t planeBytes() const
+    {
+        return std::uint64_t(blocks_per_plane) * pages_per_block *
+               page_bytes;
+    }
+
+    std::uint64_t dieBytes() const { return planeBytes() * planes_per_die; }
+
+    std::uint64_t totalBytes() const
+    {
+        return dieBytes() * totalDies();
+    }
+
+    std::uint64_t totalPages() const
+    {
+        return std::uint64_t(totalDies()) * planes_per_die *
+               blocks_per_plane * pages_per_block;
+    }
+
+    /** @return true when all fields are consistent and nonzero. */
+    bool valid() const;
+};
+
+/** Timing and rate parameters of the flash subsystem. */
+struct FlashTiming
+{
+    /** NAND array-to-register read latency (tR). */
+    Tick t_read = 30 * kUs;
+
+    /** Channel transfer rate, mega-transfers per second. */
+    std::uint32_t bus_mts = 1000;
+
+    /** Channel bus width in bits. */
+    std::uint32_t bus_bits = 8;
+
+    /** Fixed command/address/handshake time per bus grant. */
+    Tick grant_overhead = 100 * kNs;
+
+    /** Data-register to cache-register move time. */
+    Tick t_reg_move = 400 * kNs;
+
+    /**
+     * On-die compute core throughput in INT8 GOPS. Zero selects the
+     * paper's design point where compute exactly matches the array
+     * read speed (one page of MACs per tR).
+     */
+    double core_gops = 0.0;
+
+    /** Bus slice granularity for sliced read requests. */
+    std::uint32_t slice_bytes = 2048;
+
+    /** Channel bandwidth in bytes per nanosecond (== GB/s). */
+    double busBytesPerNs() const
+    {
+        return double(bus_mts) * bus_bits / 8.0 / 1000.0;
+    }
+
+    /**
+     * Time for the compute core to multiply one page's worth of
+     * weights (@p elems INT8 MACs, i.e.\ 2*elems operations).
+     */
+    Tick
+    computeTime(std::uint64_t elems, std::uint32_t page_elems) const
+    {
+        if (core_gops <= 0.0) {
+            // Matched design: a full page takes exactly tR; partial
+            // pages scale linearly.
+            if (page_elems == 0)
+                return 0;
+            return Tick(double(t_read) * double(elems) /
+                        double(page_elems));
+        }
+        double ns = 2.0 * double(elems) / core_gops;
+        return Tick(ns + 0.5);
+    }
+
+    bool valid() const;
+};
+
+/** Combined flash configuration. */
+struct FlashParams
+{
+    FlashGeometry geometry;
+    FlashTiming timing;
+
+    bool valid() const { return geometry.valid() && timing.valid(); }
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_PARAMS_H

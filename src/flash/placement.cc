@@ -1,0 +1,92 @@
+#include "placement.h"
+
+#include "common/logging.h"
+
+namespace camllm::flash {
+
+WeightPlacement::WeightPlacement(const FlashGeometry &g) : geometry_(g)
+{
+    CAMLLM_ASSERT(g.valid());
+    pages_per_plane_ = g.blocks_per_plane * g.pages_per_block;
+    next_page_.assign(std::size_t(g.channels) * g.diesPerChannel() *
+                          g.planes_per_die,
+                      0);
+}
+
+std::size_t
+WeightPlacement::planeIndex(std::uint32_t channel,
+                            std::uint32_t die_in_channel,
+                            std::uint32_t plane) const
+{
+    return (std::size_t(channel) * geometry_.diesPerChannel() +
+            die_in_channel) *
+               geometry_.planes_per_die +
+           plane;
+}
+
+PageAddress
+WeightPlacement::allocOnPlane(std::uint32_t channel,
+                              std::uint32_t die_in_channel,
+                              std::uint32_t plane)
+{
+    std::size_t idx = planeIndex(channel, die_in_channel, plane);
+    std::uint32_t cursor = next_page_[idx];
+    CAMLLM_ASSERT(cursor < pages_per_plane_);
+    ++next_page_[idx];
+    ++allocated_;
+
+    PageAddress a;
+    a.channel = channel;
+    a.chip = die_in_channel / geometry_.dies_per_chip;
+    a.die = die_in_channel % geometry_.dies_per_chip;
+    a.plane = plane;
+    a.block = cursor / geometry_.pages_per_block;
+    a.page = cursor % geometry_.pages_per_block;
+    return a;
+}
+
+PageAddress
+WeightPlacement::allocRcPage(std::uint32_t channel,
+                             std::uint32_t die_in_channel)
+{
+    CAMLLM_ASSERT(channel < geometry_.channels);
+    CAMLLM_ASSERT(die_in_channel < geometry_.diesPerChannel());
+    // Prefer the compute plane (plane 0); spill to later planes when
+    // full so oversized models still place (timing is unaffected,
+    // capacity accounting is what matters here).
+    for (std::uint32_t p = 0; p < geometry_.planes_per_die; ++p) {
+        std::size_t idx = planeIndex(channel, die_in_channel, p);
+        if (next_page_[idx] < pages_per_plane_) {
+            if (p != 0) {
+                warn("rc page spilled to plane %u on channel %u die %u",
+                     p, channel, die_in_channel);
+            }
+            return allocOnPlane(channel, die_in_channel, p);
+        }
+    }
+    fatal("flash die %u on channel %u is full", die_in_channel, channel);
+}
+
+PageAddress
+WeightPlacement::allocReadPage()
+{
+    const std::uint64_t n_dies = geometry_.totalDies();
+    for (std::uint64_t probe = 0; probe < n_dies; ++probe) {
+        std::uint64_t d = (rr_cursor_ + probe) % n_dies;
+        auto channel = std::uint32_t(d / geometry_.diesPerChannel());
+        auto die = std::uint32_t(d % geometry_.diesPerChannel());
+        // Fill from the last plane backwards so the compute plane is
+        // consumed only when everything else is full.
+        for (std::uint32_t p = geometry_.planes_per_die; p-- > 0;) {
+            std::size_t idx = planeIndex(channel, die, p);
+            if (next_page_[idx] < pages_per_plane_) {
+                rr_cursor_ = d + 1;
+                return allocOnPlane(channel, die, p);
+            }
+        }
+    }
+    fatal("flash device is full (%llu pages)",
+          (unsigned long long)allocated_);
+}
+
+} // namespace camllm::flash

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Weight placement and capacity accounting.
+ *
+ * Read-compute pages must live on the die whose core will multiply
+ * them (plane 0 by convention); read-share pages are striped across
+ * every die's plane 1 so ordinary reads can proceed while the compute
+ * plane is busy. Placement is bookkeeping for capacity checks and
+ * addressing tests; request timing is driven by the channel queues.
+ */
+
+#ifndef CAMLLM_FLASH_PLACEMENT_H
+#define CAMLLM_FLASH_PLACEMENT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "flash/address.h"
+#include "flash/params.h"
+
+namespace camllm::flash {
+
+/** Per-plane bump allocator over the whole device. */
+class WeightPlacement
+{
+  public:
+    explicit WeightPlacement(const FlashGeometry &g);
+
+    /**
+     * Allocate one compute-plane page on channel @p channel, die
+     * @p die_in_channel (0 .. diesPerChannel()-1). Spills to the read
+     * plane with a warning when the compute plane fills.
+     */
+    PageAddress allocRcPage(std::uint32_t channel,
+                            std::uint32_t die_in_channel);
+
+    /** Allocate one read-share page, round-robin across all dies. */
+    PageAddress allocReadPage();
+
+    std::uint64_t pagesAllocated() const { return allocated_; }
+    std::uint64_t capacityPages() const { return geometry_.totalPages(); }
+
+    /** Fraction of total device pages allocated. */
+    double
+    occupancy() const
+    {
+        return double(allocated_) / double(capacityPages());
+    }
+
+    /** Remaining free pages across the device. */
+    std::uint64_t freePages() const { return capacityPages() - allocated_; }
+
+  private:
+    /** Flat plane index for (channel, die-in-channel, plane). */
+    std::size_t planeIndex(std::uint32_t channel,
+                           std::uint32_t die_in_channel,
+                           std::uint32_t plane) const;
+
+    PageAddress allocOnPlane(std::uint32_t channel,
+                             std::uint32_t die_in_channel,
+                             std::uint32_t plane);
+
+    FlashGeometry geometry_;
+    std::vector<std::uint32_t> next_page_; ///< per-plane bump cursor
+    std::uint64_t allocated_ = 0;
+    std::uint64_t rr_cursor_ = 0;
+    std::uint32_t pages_per_plane_;
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_PLACEMENT_H

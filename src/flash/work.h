@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Work items exchanged between the Cambricon-LLM engine, the
+ * per-channel schedulers and the flash dies.
+ */
+
+#ifndef CAMLLM_FLASH_WORK_H
+#define CAMLLM_FLASH_WORK_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camllm::flash {
+
+/**
+ * One atomic tile of a read-compute request, i.e.\ the single weight
+ * page a specific compute core multiplies against the (broadcast)
+ * input slice. The producer fixes the compute time because it knows
+ * the weight precision; the die model is precision agnostic.
+ */
+struct RcPageJob
+{
+    std::uint64_t op_id = 0;    ///< owning GeMV operation
+    std::uint32_t tile_seq = 0; ///< channel-local tile sequence number
+    std::uint32_t out_bytes = 0;///< result-vector bytes this core returns
+    Tick compute_time = 0;      ///< core occupancy for this page
+};
+
+/**
+ * One ordinary page read that streams weights to the NPU over the
+ * channel (the NPU's share of the hardware-aware tiling split).
+ */
+struct ReadPageJob
+{
+    std::uint64_t op_id = 0;
+    std::uint32_t bytes = 0; ///< useful data bytes (<= page size)
+    bool sliced = true;      ///< Slice Control on/off (Fig 12 ablation)
+};
+
+/**
+ * A read-compute tile as seen by one channel: the broadcast input
+ * slice plus one RcPageJob per engaged core.
+ */
+struct RcTileWork
+{
+    std::uint64_t op_id = 0;
+    std::uint32_t cores_used = 0;       ///< dies engaged on this channel
+    std::uint32_t input_bytes = 0;      ///< broadcast grant size
+    std::uint32_t out_bytes_per_core = 0;
+    Tick compute_time = 0;              ///< per-core page compute time
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_WORK_H

@@ -1,0 +1,88 @@
+#include "eval.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "llm/kernels.h"
+
+namespace camllm::llm {
+
+namespace {
+
+/** Predicted choice index: argmax of the choice-token logits. */
+std::uint32_t
+predict(const TinyTransformer &model, const EvalItem &item)
+{
+    std::vector<float> logits = model.forward(item.prompt);
+    std::uint32_t best = 0;
+    float best_v = logits[item.choices[0]];
+    for (std::uint32_t c = 1; c < item.choices.size(); ++c) {
+        float v = logits[item.choices[c]];
+        if (v > best_v) {
+            best_v = v;
+            best = c;
+        }
+    }
+    return best;
+}
+
+} // namespace
+
+EvalDataset
+makeDataset(const TinyTransformer &clean_model, const std::string &name,
+            std::uint32_t n_items, std::uint32_t n_choices,
+            std::uint32_t prompt_len, double clean_accuracy,
+            std::uint64_t seed)
+{
+    const auto &cfg = clean_model.config();
+    CAMLLM_ASSERT(n_choices >= 2 && n_choices < cfg.vocab);
+    CAMLLM_ASSERT(clean_accuracy > 0.0 && clean_accuracy <= 1.0);
+
+    Rng rng(seed);
+    EvalDataset ds;
+    ds.name = name;
+    ds.n_choices = n_choices;
+    ds.items.reserve(n_items);
+
+    for (std::uint32_t i = 0; i < n_items; ++i) {
+        EvalItem item;
+        item.prompt.resize(prompt_len);
+        for (auto &t : item.prompt)
+            t = std::uint16_t(rng.below(cfg.vocab));
+
+        // Distinct candidate tokens.
+        item.choices.clear();
+        while (item.choices.size() < n_choices) {
+            auto cand = std::uint16_t(rng.below(cfg.vocab));
+            if (std::find(item.choices.begin(), item.choices.end(),
+                          cand) == item.choices.end())
+                item.choices.push_back(cand);
+        }
+
+        std::uint32_t clean_pred = predict(clean_model, item);
+        if (rng.chance(clean_accuracy)) {
+            item.label = clean_pred;
+        } else {
+            // A wrong label, uniformly over the other choices.
+            std::uint32_t off =
+                1 + std::uint32_t(rng.below(n_choices - 1));
+            item.label = (clean_pred + off) % n_choices;
+        }
+        ds.items.push_back(std::move(item));
+    }
+    return ds;
+}
+
+double
+evaluate(const TinyTransformer &model, const EvalDataset &ds)
+{
+    CAMLLM_ASSERT(!ds.items.empty());
+    std::uint64_t correct = 0;
+    for (const auto &item : ds.items)
+        if (predict(model, item) == item.label)
+            ++correct;
+    return double(correct) / double(ds.items.size());
+}
+
+} // namespace camllm::llm

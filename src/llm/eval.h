@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Synthetic multiple-choice evaluation harness.
+ *
+ * Stands in for HellaSwag / ARC / WinoGrande in the error-correction
+ * experiments: items are scored by comparing choice-token logits, and
+ * the label distribution is constructed so the *clean* model scores
+ * the dataset's published baseline accuracy. Weight corruption then
+ * degrades accuracy toward chance exactly as in the paper's figures.
+ */
+
+#ifndef CAMLLM_LLM_EVAL_H
+#define CAMLLM_LLM_EVAL_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/tiny_transformer.h"
+
+namespace camllm::llm {
+
+/** One multiple-choice item. */
+struct EvalItem
+{
+    std::vector<std::uint16_t> prompt;
+    std::vector<std::uint16_t> choices; ///< candidate next tokens
+    std::uint32_t label = 0;            ///< index into choices
+};
+
+/** A named synthetic benchmark. */
+struct EvalDataset
+{
+    std::string name;
+    std::uint32_t n_choices = 4;
+    std::vector<EvalItem> items;
+
+    double chanceAccuracy() const { return 1.0 / double(n_choices); }
+};
+
+/**
+ * Build a dataset whose labels agree with @p clean_model's argmax
+ * choice with probability @p clean_accuracy (so the clean model's
+ * measured accuracy matches the paper's baseline for that dataset).
+ */
+EvalDataset makeDataset(const TinyTransformer &clean_model,
+                        const std::string &name, std::uint32_t n_items,
+                        std::uint32_t n_choices, std::uint32_t prompt_len,
+                        double clean_accuracy, std::uint64_t seed);
+
+/** Accuracy of @p model on @p ds (fraction of argmax == label). */
+double evaluate(const TinyTransformer &model, const EvalDataset &ds);
+
+} // namespace camllm::llm
+
+#endif // CAMLLM_LLM_EVAL_H

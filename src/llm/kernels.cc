@@ -1,0 +1,96 @@
+#include "kernels.h"
+
+#include <cmath>
+
+namespace camllm::llm {
+
+void
+gemv(const QTensor &w, std::span<const float> x, std::span<float> y)
+{
+    CAMLLM_ASSERT(x.size() == w.cols, "gemv: x has %zu elems, W has %u cols",
+                  x.size(), w.cols);
+    CAMLLM_ASSERT(y.size() == w.rows);
+    const float s = w.scale;
+    for (std::uint32_t r = 0; r < w.rows; ++r) {
+        const std::int8_t *row = w.data.data() + std::size_t(r) * w.cols;
+        float acc = 0.0f;
+        for (std::uint32_t c = 0; c < w.cols; ++c)
+            acc += float(row[c]) * x[c];
+        y[r] = acc * s;
+    }
+}
+
+void
+layerNorm(std::span<float> x, float eps)
+{
+    if (x.empty())
+        return;
+    float mean = 0.0f;
+    for (float v : x)
+        mean += v;
+    mean /= float(x.size());
+    float var = 0.0f;
+    for (float v : x)
+        var += (v - mean) * (v - mean);
+    var /= float(x.size());
+    float inv = 1.0f / std::sqrt(var + eps);
+    for (float &v : x)
+        v = (v - mean) * inv;
+}
+
+void
+softmaxInPlace(std::span<float> x)
+{
+    if (x.empty())
+        return;
+    float mx = x[0];
+    for (float v : x)
+        mx = std::max(mx, v);
+    float sum = 0.0f;
+    for (float &v : x) {
+        v = std::exp(v - mx);
+        sum += v;
+    }
+    for (float &v : x)
+        v /= sum;
+}
+
+void
+geluInPlace(std::span<float> x)
+{
+    constexpr float k = 0.7978845608028654f; // sqrt(2/pi)
+    for (float &v : x) {
+        float inner = k * (v + 0.044715f * v * v * v);
+        v = 0.5f * v * (1.0f + std::tanh(inner));
+    }
+}
+
+void
+siluInPlace(std::span<float> x)
+{
+    for (float &v : x)
+        v = v / (1.0f + std::exp(-v));
+}
+
+std::size_t
+argmax(std::span<const float> x)
+{
+    CAMLLM_ASSERT(!x.empty());
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < x.size(); ++i)
+        if (x[i] > x[best])
+            best = i;
+    return best;
+}
+
+float
+dot(std::span<const float> a, std::span<const float> b)
+{
+    CAMLLM_ASSERT(a.size() == b.size());
+    float acc = 0.0f;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        acc += a[i] * b[i];
+    return acc;
+}
+
+} // namespace camllm::llm

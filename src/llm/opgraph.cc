@@ -1,0 +1,215 @@
+#include "opgraph.h"
+
+#include "common/logging.h"
+
+namespace camllm::llm {
+
+std::uint64_t
+DecodeGraph::totalWeightElems() const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : ops)
+        if (op.kind == OpKind::GemvWeight)
+            n += op.weightElems();
+    return n;
+}
+
+std::uint64_t
+DecodeGraph::totalKvLoadBytes() const
+{
+    std::uint64_t n = 0;
+    for (const auto &op : ops)
+        if (op.kind == OpKind::KvLoadCompute)
+            n += op.kv_bytes;
+    return n;
+}
+
+double
+DecodeGraph::totalFlops() const
+{
+    double n = 0.0;
+    for (const auto &op : ops) {
+        if (op.kind == OpKind::GemvWeight)
+            n += 2.0 * double(op.weightElems());
+        else
+            n += op.flops;
+    }
+    return n;
+}
+
+namespace {
+
+/** Incremental graph builder with named-op dependency helpers. */
+class Builder
+{
+  public:
+    Builder(const ModelConfig &m, std::uint32_t seq, const QuantSpec &q,
+            bool prefill = false)
+        : m_(m), seq_(seq), q_(q), prefill_(prefill)
+    {
+    }
+
+    std::uint32_t
+    add(Op op)
+    {
+        g_.ops.push_back(std::move(op));
+        return std::uint32_t(g_.ops.size() - 1);
+    }
+
+    std::uint32_t
+    sfu(std::string name, std::uint32_t layer, double elems,
+        std::vector<std::uint32_t> deps)
+    {
+        Op op;
+        op.kind = OpKind::Sfu;
+        op.name = std::move(name);
+        op.layer = layer;
+        op.sfu_elems = elems;
+        op.flops = elems; // one special op per element, roughly
+        op.deps = std::move(deps);
+        return add(std::move(op));
+    }
+
+    std::uint32_t
+    gemv(std::string name, std::uint32_t layer, std::uint64_t rows,
+         std::uint64_t cols, std::vector<std::uint32_t> deps)
+    {
+        Op op;
+        op.kind = OpKind::GemvWeight;
+        op.name = std::move(name);
+        op.layer = layer;
+        op.rows = rows;
+        op.cols = cols;
+        op.npu_compute_scale = prefill_ ? double(seq_) : 1.0;
+        op.deps = std::move(deps);
+        return add(std::move(op));
+    }
+
+    /** One transformer layer; returns its output op index. */
+    std::uint32_t
+    layer(std::uint32_t l, std::uint32_t input)
+    {
+        const std::uint64_t d = m_.d_model;
+        const std::uint64_t kvp = m_.kvProjDim();
+        const std::uint32_t act_b = q_.act_bits / 8;
+
+        // In prefill the same weights multiply every prompt position;
+        // in decode there is exactly one position.
+        const double pos = prefill_ ? double(seq_) : 1.0;
+
+        auto ln1 = sfu("ln1", l, pos * double(d), {input});
+        auto q = gemv("wq", l, d, d, {ln1});
+        auto k = gemv("wk", l, kvp, d, {ln1});
+        auto v = gemv("wv", l, kvp, d, {ln1});
+
+        Op append;
+        append.kind = OpKind::KvAppend;
+        append.name = "kv_append";
+        append.layer = l;
+        append.kv_bytes = std::uint64_t(pos) * 2ull * kvp * act_b;
+        append.deps = {k, v};
+        auto ap = add(std::move(append));
+
+        // Attention scores: q . K^T. In decode the K stream comes from
+        // DRAM; in prefill the causal score matrix costs ~seq^2/2 MACs
+        // per attention dimension while K makes one DRAM round trip
+        // (FlashAttention-style tiling keeps the working set on chip).
+        Op score;
+        score.kind = OpKind::KvLoadCompute;
+        score.name = "attn_score";
+        score.layer = l;
+        score.kv_bytes = std::uint64_t(seq_) * kvp * act_b;
+        score.flops = pos * double(seq_) * double(d);
+        if (!prefill_)
+            score.flops *= 2.0;
+        score.deps = {q, ap};
+        auto sc = add(std::move(score));
+
+        auto sm = sfu("softmax", l,
+                      double(m_.n_heads) * seq_ * (prefill_ ? pos / 2.0
+                                                            : 1.0),
+                      {sc});
+
+        Op ctx;
+        ctx.kind = OpKind::KvLoadCompute;
+        ctx.name = "attn_context";
+        ctx.layer = l;
+        ctx.kv_bytes = std::uint64_t(seq_) * kvp * act_b;
+        ctx.flops = score.flops;
+        ctx.deps = {sm};
+        auto cx = add(std::move(ctx));
+
+        auto o = gemv("wo", l, d, d, {cx});
+        auto ln2 = sfu("ln2", l, pos * double(d), {o});
+
+        std::uint32_t ffn_out;
+        if (m_.ffn_style == FfnStyle::Gated) {
+            auto gate = gemv("w_gate", l, m_.d_ffn, d, {ln2});
+            auto up = gemv("w_up", l, m_.d_ffn, d, {ln2});
+            auto act = sfu("silu", l, pos * double(m_.d_ffn),
+                           {gate, up});
+            ffn_out = gemv("w_down", l, d, m_.d_ffn, {act});
+        } else {
+            auto fc1 = gemv("fc1", l, m_.d_ffn, d, {ln2});
+            auto act = sfu("gelu", l, pos * double(m_.d_ffn), {fc1});
+            ffn_out = gemv("fc2", l, d, m_.d_ffn, {act});
+        }
+        return ffn_out;
+    }
+
+    DecodeGraph
+    build(std::uint32_t layers_to_build)
+    {
+        // The token embedding lookup is a single page read; it is
+        // negligible next to billions of weight reads and is folded
+        // into the first norm.
+        const double pos = prefill_ ? double(seq_) : 1.0;
+        auto cur = sfu("embed", 0, pos * double(m_.d_model), {});
+        for (std::uint32_t l = 0; l < layers_to_build; ++l)
+            cur = layer(l, cur);
+        auto fin = sfu("final_norm", layers_to_build - 1,
+                       double(m_.d_model), {cur});
+        // The lm_head projects only the final position, even in
+        // prefill, so its compute scale stays 1.
+        auto head = gemv("lm_head", ~std::uint32_t(0), m_.vocab,
+                         m_.d_model, {fin});
+        g_.ops[head].npu_compute_scale = 1.0;
+        g_.n_layers = layers_to_build;
+        return std::move(g_);
+    }
+
+  private:
+    const ModelConfig &m_;
+    std::uint32_t seq_;
+    QuantSpec q_;
+    bool prefill_;
+    DecodeGraph g_;
+};
+
+} // namespace
+
+DecodeGraph
+buildDecodeGraph(const ModelConfig &model, std::uint32_t seq,
+                 const QuantSpec &quant, std::uint32_t layers_to_build)
+{
+    CAMLLM_ASSERT(model.valid(), "invalid model %s", model.name.c_str());
+    CAMLLM_ASSERT(layers_to_build > 0 &&
+                  layers_to_build <= model.n_layers);
+    CAMLLM_ASSERT(seq > 0);
+    Builder b(model, seq, quant);
+    return b.build(layers_to_build);
+}
+
+DecodeGraph
+buildPrefillGraph(const ModelConfig &model, std::uint32_t prompt_len,
+                  const QuantSpec &quant, std::uint32_t layers_to_build)
+{
+    CAMLLM_ASSERT(model.valid(), "invalid model %s", model.name.c_str());
+    CAMLLM_ASSERT(layers_to_build > 0 &&
+                  layers_to_build <= model.n_layers);
+    CAMLLM_ASSERT(prompt_len > 0);
+    Builder b(model, prompt_len, quant, /*prefill=*/true);
+    return b.build(layers_to_build);
+}
+
+} // namespace camllm::llm

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Decode-phase operation graph for one token.
+ *
+ * Mirrors Figure 5 of the paper: GeMV operations that read model
+ * weights are co-computed by NPU + flash; attention operations over
+ * the KV cache run on the NPU against DRAM; softmax / norms /
+ * activations run on the NPU's special function unit.
+ */
+
+#ifndef CAMLLM_LLM_OPGRAPH_H
+#define CAMLLM_LLM_OPGRAPH_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/model_config.h"
+#include "llm/quant.h"
+
+namespace camllm::llm {
+
+/** Hardware class an operation maps to (paper Fig 5 boxes). */
+enum class OpKind
+{
+    GemvWeight,    ///< weight GeMV: NPU + flash co-computation
+    KvLoadCompute, ///< attention score/context: NPU + DRAM
+    KvAppend,      ///< write the new K/V entries to DRAM
+    Sfu            ///< softmax / norm / activation on the SFU
+};
+
+/** One node of the decode graph. */
+struct Op
+{
+    OpKind kind = OpKind::Sfu;
+    std::string name;
+    std::uint32_t layer = 0; ///< owning layer, or UINT32_MAX for head
+
+    // GemvWeight: weight matrix is rows x cols (output x input).
+    std::uint64_t rows = 0;
+    std::uint64_t cols = 0;
+
+    // KvLoadCompute / KvAppend.
+    std::uint64_t kv_bytes = 0;
+    double flops = 0.0;
+
+    // Sfu.
+    double sfu_elems = 0.0;
+
+    /**
+     * NPU-compute multiplier for GemvWeight ops: 1 in decode, the
+     * prompt length in prefill (weights stream once but multiply
+     * against every prompt position).
+     */
+    double npu_compute_scale = 1.0;
+
+    std::vector<std::uint32_t> deps; ///< indices of producer ops
+
+    std::uint64_t weightElems() const { return rows * cols; }
+};
+
+/** Whole-token decode graph plus summary accessors. */
+struct DecodeGraph
+{
+    std::vector<Op> ops;
+    std::uint32_t n_layers = 0; ///< layers materialized in the graph
+
+    /** Sum of weight elements over all GemvWeight ops. */
+    std::uint64_t totalWeightElems() const;
+
+    /** Total KV bytes loaded from DRAM. */
+    std::uint64_t totalKvLoadBytes() const;
+
+    /** Total floating ops across all op kinds (2 ops per MAC). */
+    double totalFlops() const;
+
+    /** Index of the last op (the lm_head projection). */
+    std::uint32_t lastOp() const
+    {
+        return std::uint32_t(ops.size() - 1);
+    }
+};
+
+/**
+ * Build the decode graph for @p layers_to_build layers of @p model at
+ * context length @p seq, ending with the lm_head projection.
+ * @p layers_to_build lets the engine simulate a sample of identical
+ * layers and extrapolate; pass model.n_layers for the full graph.
+ */
+DecodeGraph buildDecodeGraph(const ModelConfig &model, std::uint32_t seq,
+                             const QuantSpec &quant,
+                             std::uint32_t layers_to_build);
+
+/**
+ * Build the prefill graph over a @p prompt_len-token prompt: the same
+ * weight GeMVs (weights stream through the device once, multiplied
+ * against every position — npu_compute_scale = prompt_len), causal
+ * attention of O(prompt^2) flops, and SFU work scaled by the prompt.
+ */
+DecodeGraph buildPrefillGraph(const ModelConfig &model,
+                              std::uint32_t prompt_len,
+                              const QuantSpec &quant,
+                              std::uint32_t layers_to_build);
+
+} // namespace camllm::llm
+
+#endif // CAMLLM_LLM_OPGRAPH_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Quantization modes evaluated in the paper: W8A8 (default) and W4A16
+ * (Fig 11). Weight width drives flash traffic and pages-per-matrix;
+ * activation width drives vector traffic and KV-cache size.
+ */
+
+#ifndef CAMLLM_LLM_QUANT_H
+#define CAMLLM_LLM_QUANT_H
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace camllm::llm {
+
+/** Supported weight/activation quantization schemes. W2A16 is the
+ *  "more aggressive" point the paper projects future benefit from. */
+enum class QuantMode
+{
+    W8A8,
+    W4A16,
+    W2A16
+};
+
+/** Bit widths and byte-count helpers for a quantization mode. */
+struct QuantSpec
+{
+    std::uint32_t weight_bits = 8;
+    std::uint32_t act_bits = 8;
+
+    static QuantSpec
+    of(QuantMode m)
+    {
+        switch (m) {
+          case QuantMode::W8A8:
+            return QuantSpec{8, 8};
+          case QuantMode::W4A16:
+            return QuantSpec{4, 16};
+          case QuantMode::W2A16:
+            return QuantSpec{2, 16};
+        }
+        panic("unknown quant mode");
+    }
+
+    /** Storage bytes for @p elems weights (rounded up). */
+    std::uint64_t
+    weightBytes(std::uint64_t elems) const
+    {
+        return (elems * weight_bits + 7) / 8;
+    }
+
+    /** Storage bytes for @p elems activations. */
+    std::uint64_t
+    actBytes(std::uint64_t elems) const
+    {
+        return (elems * act_bits + 7) / 8;
+    }
+
+    /** Weight elements held by one @p page_bytes flash page. */
+    std::uint32_t
+    elemsPerPage(std::uint32_t page_bytes) const
+    {
+        return std::uint32_t(std::uint64_t(page_bytes) * 8 / weight_bits);
+    }
+
+    const char *
+    label() const
+    {
+        switch (weight_bits) {
+          case 2:
+            return "W2A16";
+          case 4:
+            return "W4A16";
+          default:
+            return "W8A8";
+        }
+    }
+};
+
+} // namespace camllm::llm
+
+#endif // CAMLLM_LLM_QUANT_H

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal tensor types for the functional INT8 inference path used by
+ * the error-correction experiments (Fig 3b / Fig 10).
+ */
+
+#ifndef CAMLLM_LLM_TENSOR_H
+#define CAMLLM_LLM_TENSOR_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace camllm::llm {
+
+/** Row-major INT8 weight matrix with a per-tensor dequant scale. */
+struct QTensor
+{
+    std::uint32_t rows = 0;
+    std::uint32_t cols = 0;
+    float scale = 1.0f;
+    std::vector<std::int8_t> data;
+
+    QTensor() = default;
+
+    QTensor(std::uint32_t r, std::uint32_t c, float s)
+        : rows(r), cols(c), scale(s), data(std::size_t(r) * c, 0)
+    {
+    }
+
+    std::size_t elems() const { return data.size(); }
+
+    std::span<const std::int8_t>
+    row(std::uint32_t r) const
+    {
+        CAMLLM_ASSERT(r < rows);
+        return {data.data() + std::size_t(r) * cols, cols};
+    }
+
+    std::int8_t
+    at(std::uint32_t r, std::uint32_t c) const
+    {
+        CAMLLM_ASSERT(r < rows && c < cols);
+        return data[std::size_t(r) * cols + c];
+    }
+};
+
+} // namespace camllm::llm
+
+#endif // CAMLLM_LLM_TENSOR_H

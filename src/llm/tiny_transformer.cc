@@ -1,0 +1,187 @@
+#include "tiny_transformer.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "llm/kernels.h"
+
+namespace camllm::llm {
+
+namespace {
+
+/** Bulk sigma of the INT8 weight distribution. */
+constexpr double kBulkSigma = 14.0;
+
+/** Fill @p t with Gaussian-bulk + planted-outlier INT8 weights. */
+void
+initWeights(QTensor &t, const TinyConfig &cfg, Rng &rng)
+{
+    for (auto &w : t.data) {
+        double v = rng.normal() * kBulkSigma;
+        if (rng.chance(cfg.outlier_frac))
+            v *= cfg.outlier_mag;
+        v = std::max(-127.0, std::min(127.0, std::round(v)));
+        w = std::int8_t(v);
+    }
+    // Keep activations O(1): float weight stddev ~= 1/sqrt(fan_in).
+    t.scale = float(1.0 / (kBulkSigma * std::sqrt(double(t.cols))));
+}
+
+} // namespace
+
+TinyTransformer::TinyTransformer(const TinyConfig &cfg, std::uint64_t seed)
+    : cfg_(cfg)
+{
+    CAMLLM_ASSERT(cfg.d_model % cfg.n_heads == 0);
+    Rng rng(seed);
+    embed_ = QTensor(cfg.vocab, cfg.d_model, 1.0f);
+    initWeights(embed_, cfg_, rng);
+    embed_.scale = float(1.0 / kBulkSigma); // unit-variance embeddings
+
+    layers_.resize(cfg.n_layers);
+    for (auto &l : layers_) {
+        l.wq = QTensor(cfg.d_model, cfg.d_model, 1.0f);
+        l.wk = QTensor(cfg.d_model, cfg.d_model, 1.0f);
+        l.wv = QTensor(cfg.d_model, cfg.d_model, 1.0f);
+        l.wo = QTensor(cfg.d_model, cfg.d_model, 1.0f);
+        l.fc1 = QTensor(cfg.d_ffn, cfg.d_model, 1.0f);
+        l.fc2 = QTensor(cfg.d_model, cfg.d_ffn, 1.0f);
+        for (QTensor *t : {&l.wq, &l.wk, &l.wv, &l.wo, &l.fc1, &l.fc2})
+            initWeights(*t, cfg_, rng);
+    }
+    lm_head_ = QTensor(cfg.vocab, cfg.d_model, 1.0f);
+    initWeights(lm_head_, cfg_, rng);
+}
+
+std::vector<QTensor *>
+TinyTransformer::mutableTensors()
+{
+    std::vector<QTensor *> out;
+    out.push_back(&embed_);
+    for (auto &l : layers_)
+        for (QTensor *t : {&l.wq, &l.wk, &l.wv, &l.wo, &l.fc1, &l.fc2})
+            out.push_back(t);
+    out.push_back(&lm_head_);
+    return out;
+}
+
+std::vector<const QTensor *>
+TinyTransformer::tensors() const
+{
+    auto mut = const_cast<TinyTransformer *>(this)->mutableTensors();
+    return {mut.begin(), mut.end()};
+}
+
+std::size_t
+TinyTransformer::weightBytes() const
+{
+    std::size_t n = 0;
+    for (const QTensor *t : tensors())
+        n += t->elems();
+    return n;
+}
+
+std::vector<std::int8_t>
+TinyTransformer::packWeights() const
+{
+    std::vector<std::int8_t> blob;
+    blob.reserve(weightBytes());
+    for (const QTensor *t : tensors())
+        blob.insert(blob.end(), t->data.begin(), t->data.end());
+    return blob;
+}
+
+void
+TinyTransformer::unpackWeights(std::span<const std::int8_t> blob)
+{
+    CAMLLM_ASSERT(blob.size() == weightBytes(),
+                  "blob is %zu bytes, expected %zu", blob.size(),
+                  weightBytes());
+    std::size_t off = 0;
+    for (QTensor *t : mutableTensors()) {
+        std::memcpy(t->data.data(), blob.data() + off, t->elems());
+        off += t->elems();
+    }
+}
+
+std::vector<float>
+TinyTransformer::forward(std::span<const std::uint16_t> tokens) const
+{
+    const std::uint32_t d = cfg_.d_model;
+    const std::uint32_t hd = cfg_.headDim();
+    const std::size_t n = tokens.size();
+    CAMLLM_ASSERT(n > 0);
+
+    // Token embeddings plus a fixed sinusoidal position signal.
+    std::vector<std::vector<float>> x(n, std::vector<float>(d));
+    for (std::size_t i = 0; i < n; ++i) {
+        CAMLLM_ASSERT(tokens[i] < cfg_.vocab);
+        auto row = embed_.row(tokens[i]);
+        for (std::uint32_t c = 0; c < d; ++c) {
+            double pos = (c % 2 == 0)
+                             ? std::sin(double(i) / std::pow(100.0,
+                                        double(c) / d))
+                             : std::cos(double(i) / std::pow(100.0,
+                                        double(c - 1) / d));
+            x[i][c] = float(row[c]) * embed_.scale + 0.1f * float(pos);
+        }
+    }
+
+    std::vector<float> q(d), k(d), v(d), attn_out(d), buf(d);
+    std::vector<std::vector<float>> ks(n, std::vector<float>(d));
+    std::vector<std::vector<float>> vs(n, std::vector<float>(d));
+
+    for (const Layer &layer : layers_) {
+        // Pre-compute K/V for every position (weights are shared).
+        for (std::size_t i = 0; i < n; ++i) {
+            buf = x[i];
+            layerNorm(buf);
+            gemv(layer.wk, buf, ks[i]);
+            gemv(layer.wv, buf, vs[i]);
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            buf = x[i];
+            layerNorm(buf);
+            gemv(layer.wq, buf, q);
+
+            // Causal multi-head attention, one head at a time.
+            std::fill(attn_out.begin(), attn_out.end(), 0.0f);
+            std::vector<float> scores(i + 1);
+            for (std::uint32_t h = 0; h < cfg_.n_heads; ++h) {
+                const std::size_t o = std::size_t(h) * hd;
+                for (std::size_t j = 0; j <= i; ++j) {
+                    scores[j] = dot({q.data() + o, hd},
+                                    {ks[j].data() + o, hd}) /
+                                std::sqrt(float(hd));
+                }
+                softmaxInPlace({scores.data(), i + 1});
+                for (std::size_t j = 0; j <= i; ++j)
+                    for (std::uint32_t c = 0; c < hd; ++c)
+                        attn_out[o + c] += scores[j] * vs[j][o + c];
+            }
+            gemv(layer.wo, attn_out, buf);
+            for (std::uint32_t c = 0; c < d; ++c)
+                x[i][c] += buf[c];
+
+            // FFN with pre-norm and residual.
+            buf = x[i];
+            layerNorm(buf);
+            std::vector<float> hbuf(cfg_.d_ffn);
+            gemv(layer.fc1, buf, hbuf);
+            geluInPlace(hbuf);
+            gemv(layer.fc2, hbuf, buf);
+            for (std::uint32_t c = 0; c < d; ++c)
+                x[i][c] += buf[c];
+        }
+    }
+
+    std::vector<float> last = x[n - 1];
+    layerNorm(last);
+    std::vector<float> logits(cfg_.vocab);
+    gemv(lm_head_, last, logits);
+    return logits;
+}
+
+} // namespace camllm::llm

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * A small, fully functional INT8 decoder-only transformer.
+ *
+ * Stands in for the paper's OPT-6.7B in the error-correction
+ * experiments (Fig 3b / Fig 10): its weights follow published LLM
+ * statistics (Gaussian bulk plus a sub-percent population of
+ * large-magnitude outliers, cf.\ LLM.int8()), live in bit-exact flash
+ * pages, and its forward pass turns weight bit flips into task
+ * accuracy loss exactly like the real model would.
+ */
+
+#ifndef CAMLLM_LLM_TINY_TRANSFORMER_H
+#define CAMLLM_LLM_TINY_TRANSFORMER_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "llm/tensor.h"
+
+namespace camllm::llm {
+
+/** Architecture of the synthetic model. */
+struct TinyConfig
+{
+    std::uint32_t d_model = 128;
+    std::uint32_t n_layers = 2;
+    std::uint32_t n_heads = 4;
+    std::uint32_t d_ffn = 384;
+    std::uint32_t vocab = 512;
+
+    /** Fraction of weights planted as outliers. */
+    double outlier_frac = 0.005;
+
+    /** Outlier magnitude multiplier over the bulk sigma. */
+    double outlier_mag = 6.0;
+
+    std::uint32_t headDim() const { return d_model / n_heads; }
+};
+
+/** Seeded synthetic INT8 transformer with a real forward pass. */
+class TinyTransformer
+{
+  public:
+    TinyTransformer(const TinyConfig &cfg, std::uint64_t seed);
+
+    const TinyConfig &config() const { return cfg_; }
+
+    /** Total INT8 weight bytes (pack/unpack blob size). */
+    std::size_t weightBytes() const;
+
+    /** Serialize all weight matrices into one flat blob. */
+    std::vector<std::int8_t> packWeights() const;
+
+    /** Replace all weights from @p blob (layout of packWeights()). */
+    void unpackWeights(std::span<const std::int8_t> blob);
+
+    /**
+     * Run the model over @p tokens (causal attention) and return the
+     * vocab logits at the final position.
+     */
+    std::vector<float> forward(std::span<const std::uint16_t> tokens) const;
+
+    /** Access for tests: every weight tensor in pack order. */
+    std::vector<const QTensor *> tensors() const;
+
+  private:
+    struct Layer
+    {
+        QTensor wq, wk, wv, wo, fc1, fc2;
+    };
+
+    std::vector<QTensor *> mutableTensors();
+
+    TinyConfig cfg_;
+    QTensor embed_;
+    std::vector<Layer> layers_;
+    QTensor lm_head_;
+};
+
+} // namespace camllm::llm
+
+#endif // CAMLLM_LLM_TINY_TRANSFORMER_H

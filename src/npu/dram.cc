@@ -1,0 +1,36 @@
+#include "dram.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace camllm::npu {
+
+void
+DramModel::request(std::uint64_t bytes, std::function<void()> done)
+{
+    CAMLLM_ASSERT(bytes > 0, "zero-byte DRAM transfer");
+    queue_.push_back(Txn{bytes, std::move(done)});
+    tryStart();
+}
+
+void
+DramModel::tryStart()
+{
+    if (busy_now_ || queue_.empty())
+        return;
+    Txn txn = std::move(queue_.front());
+    queue_.pop_front();
+    busy_now_ = true;
+    Tick start = eq_.now();
+    Tick end = start + serviceTime(txn.bytes);
+    busy_.addBusy(start, end);
+    bytes_moved_ += txn.bytes;
+    eq_.schedule(end, [this, done = std::move(txn.done)]() mutable {
+        busy_now_ = false;
+        done();
+        tryStart();
+    });
+}
+
+} // namespace camllm::npu

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * LPDDR DRAM stream model: a single serialized bandwidth resource with
+ * fixed per-request latency. In Cambricon-LLM the DRAM holds only the
+ * KV cache, so its traffic is the attention read/append stream.
+ */
+
+#ifndef CAMLLM_NPU_DRAM_H
+#define CAMLLM_NPU_DRAM_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "npu/params.h"
+#include "sim/event_queue.h"
+
+namespace camllm::npu {
+
+/** Bandwidth-serialized DRAM channel. */
+class DramModel
+{
+  public:
+    DramModel(EventQueue &eq, const NpuParams &params)
+        : eq_(eq), params_(params)
+    {
+    }
+
+    /** Queue a transfer of @p bytes; @p done fires at completion. */
+    void request(std::uint64_t bytes, std::function<void()> done);
+
+    std::uint64_t bytesMoved() const { return bytes_moved_; }
+    const BusyTracker &busy() const { return busy_; }
+
+    /** Pure service time for @p bytes (latency + transfer). */
+    Tick
+    serviceTime(std::uint64_t bytes) const
+    {
+        return params_.dram_latency +
+               transferTime(bytes, params_.dram_gbps);
+    }
+
+  private:
+    struct Txn
+    {
+        std::uint64_t bytes;
+        std::function<void()> done;
+    };
+
+    void tryStart();
+
+    EventQueue &eq_;
+    NpuParams params_;
+    std::deque<Txn> queue_;
+    bool busy_now_ = false;
+    BusyTracker busy_;
+    std::uint64_t bytes_moved_ = 0;
+};
+
+} // namespace camllm::npu
+
+#endif // CAMLLM_NPU_DRAM_H

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * NPU-side configuration: systolic array throughput, special function
+ * unit rate, LPDDR bandwidth, and the weight staging buffer.
+ *
+ * Defaults follow Section VII-A of the paper: a 16x16 systolic array
+ * delivering 2 TOPS at 1 GHz, LPDDR5X at ~40 GB/s holding only the
+ * KV cache.
+ */
+
+#ifndef CAMLLM_NPU_PARAMS_H
+#define CAMLLM_NPU_PARAMS_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camllm::npu {
+
+/** Static NPU configuration. */
+struct NpuParams
+{
+    /** Peak INT8 throughput of the systolic array, in TOPS. */
+    double tops = 2.0;
+
+    /** Special-function-unit throughput in elements per nanosecond
+     *  (softmax / layernorm / activation element rate). */
+    double sfu_elems_per_ns = 2.0;
+
+    /** LPDDR bandwidth in GB/s (KV cache traffic). */
+    double dram_gbps = 40.0;
+
+    /** Fixed per-request DRAM latency. */
+    Tick dram_latency = 100 * kNs;
+
+    /**
+     * On-NPU staging buffer for weights streamed from flash. Bounds
+     * how far the read stream may prefetch ahead of the op being
+     * computed.
+     */
+    std::uint64_t weight_buffer_bytes = 8ull * 1024 * 1024;
+
+    /** Time for @p flops operations on the systolic array. */
+    Tick
+    computeTime(double flops) const
+    {
+        // 1 TOPS == 1000 ops/ns.
+        double ns = flops / (tops * 1000.0);
+        return Tick(ns + 0.5);
+    }
+
+    /** Time for an SFU pass over @p elems elements. */
+    Tick
+    sfuTime(double elems) const
+    {
+        double ns = elems / sfu_elems_per_ns;
+        return Tick(ns + 0.5);
+    }
+
+    bool
+    valid() const
+    {
+        return tops > 0.0 && sfu_elems_per_ns > 0.0 && dram_gbps > 0.0;
+    }
+};
+
+} // namespace camllm::npu
+
+#endif // CAMLLM_NPU_PARAMS_H

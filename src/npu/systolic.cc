@@ -1,0 +1,42 @@
+#include "systolic.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace camllm::npu {
+
+SystolicEstimate
+estimateGemm(const SystolicParams &p, std::uint64_t m, std::uint64_t k,
+             std::uint64_t batch)
+{
+    CAMLLM_ASSERT(m > 0 && k > 0 && batch > 0);
+    const std::uint64_t pes = std::uint64_t(p.rows) * p.cols;
+    const std::uint64_t lanes = pes * p.macs_per_pe;
+    const std::uint64_t fill = p.rows + p.cols;
+
+    // Weight-stationary: each (rows x cols) weight tile is loaded once
+    // (paying the pipeline fill) and then streams the whole batch.
+    const std::uint64_t tiles =
+        ((m + p.rows - 1) / p.rows) * ((k + p.cols - 1) / p.cols);
+    const std::uint64_t ws_cycles =
+        tiles * (fill + (batch + p.macs_per_pe - 1) / p.macs_per_pe);
+
+    // Output-stationary / weight-streaming: weights pour through the
+    // array at full lane width; ideal for GeMV, but each batch element
+    // re-streams the weights.
+    const std::uint64_t os_cycles =
+        batch * ((m * k + lanes - 1) / lanes) + fill;
+
+    SystolicEstimate e;
+    e.cycles = std::min(ws_cycles, os_cycles);
+    const double useful = double(m) * double(k) * double(batch);
+    e.utilization = useful / (double(e.cycles) * double(lanes));
+    e.time = Tick(double(e.cycles) / p.freq_ghz + 0.5);
+    e.effective_tops = e.time > 0
+                           ? 2.0 * useful / double(e.time) / 1000.0
+                           : 0.0;
+    return e;
+}
+
+} // namespace camllm::npu

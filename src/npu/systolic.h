@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cycle-level utilization model of the NPU's 16x16 weight-stationary
+ * systolic array (Section VII-A).
+ *
+ * The end-to-end engine uses a rate model (2 TOPS) because decode is
+ * bandwidth bound; this model answers the validation question behind
+ * that shortcut — for which GeMV/GeMM shapes does the array actually
+ * approach its peak, and is it ever the bottleneck against the flash
+ * stream?
+ */
+
+#ifndef CAMLLM_NPU_SYSTOLIC_H
+#define CAMLLM_NPU_SYSTOLIC_H
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace camllm::npu {
+
+/** Physical configuration of the systolic array. */
+struct SystolicParams
+{
+    std::uint32_t rows = 16; ///< PE rows (output-channel dimension)
+    std::uint32_t cols = 16; ///< PE columns (input-channel dimension)
+    double freq_ghz = 1.0;
+
+    /**
+     * MAC issues per PE per cycle. Four INT8 MACs per PE reconcile a
+     * 16x16 array at 1 GHz with the paper's 2 TOPS figure
+     * (16*16*4 MACs * 2 ops * 1 GHz = 2.048 TOPS).
+     */
+    std::uint32_t macs_per_pe = 4;
+
+    double
+    peakTops() const
+    {
+        return double(rows) * cols * macs_per_pe * 2.0 * freq_ghz /
+               1000.0;
+    }
+};
+
+/** Result of mapping one GeMM onto the array. */
+struct SystolicEstimate
+{
+    std::uint64_t cycles = 0;
+    double utilization = 0.0; ///< useful MACs / issued MAC slots
+    Tick time = 0;
+    double effective_tops = 0.0;
+};
+
+/**
+ * Estimate cycles for an (m x k) weight matrix times k-vector(s) with
+ * @p batch right-hand sides (batch = 1 is decode GeMV; batch = prompt
+ * length is prefill GeMM). Weight-stationary mapping: each (rows x
+ * cols) weight tile is loaded once and streams `batch` operands
+ * through, paying a pipeline fill of rows + cols cycles per tile.
+ */
+SystolicEstimate estimateGemm(const SystolicParams &params,
+                              std::uint64_t m, std::uint64_t k,
+                              std::uint64_t batch);
+
+} // namespace camllm::npu
+
+#endif // CAMLLM_NPU_SYSTOLIC_H

@@ -1,0 +1,60 @@
+#include "event_queue.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace camllm {
+
+void
+EventQueue::schedule(Tick when, Callback cb)
+{
+    CAMLLM_ASSERT(when >= now_,
+                  "event scheduled in the past (when=%llu now=%llu)",
+                  (unsigned long long)when, (unsigned long long)now_);
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+bool
+EventQueue::step()
+{
+    if (heap_.empty())
+        return false;
+    // std::priority_queue::top() is const; move out via const_cast is
+    // UB-free here because we pop immediately and Callback move leaves
+    // the source valid.
+    Event ev = std::move(const_cast<Event &>(heap_.top()));
+    heap_.pop();
+    now_ = ev.when;
+    ++executed_;
+    ev.cb();
+    return true;
+}
+
+void
+EventQueue::run()
+{
+    while (step()) {
+    }
+}
+
+Tick
+EventQueue::runUntil(Tick limit)
+{
+    while (!heap_.empty() && heap_.top().when <= limit)
+        step();
+    if (now_ < limit)
+        now_ = limit;
+    return now_;
+}
+
+void
+EventQueue::reset()
+{
+    heap_ = decltype(heap_)();
+    now_ = 0;
+    next_seq_ = 0;
+    executed_ = 0;
+}
+
+} // namespace camllm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Discrete-event simulation kernel.
+ *
+ * A single-threaded event queue with deterministic ordering: events
+ * scheduled for the same tick execute in insertion order. All device
+ * models (flash channels, dies, the NPU, DRAM) are driven from one
+ * queue so cross-device interleavings are exact and reproducible.
+ */
+
+#ifndef CAMLLM_SIM_EVENT_QUEUE_H
+#define CAMLLM_SIM_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+
+namespace camllm {
+
+/** Min-heap event queue ordered by (tick, insertion sequence). */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Current simulated time. */
+    Tick now() const { return now_; }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /** Number of events still pending. */
+    std::size_t pending() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+    /**
+     * Schedule @p cb at absolute time @p when.
+     * @pre when >= now(); scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    void scheduleIn(Tick delay, Callback cb)
+    {
+        schedule(now_ + delay, std::move(cb));
+    }
+
+    /** Execute the single earliest event. @return false if none left. */
+    bool step();
+
+    /** Run until the queue drains. */
+    void run();
+
+    /**
+     * Run every event with timestamp <= @p limit, then advance the
+     * clock to @p limit (even if idle). @return the new current time.
+     */
+    Tick runUntil(Tick limit);
+
+    /** Drop all pending events and rewind the clock to zero. */
+    void reset();
+
+  private:
+    struct Event
+    {
+        Tick when;
+        std::uint64_t seq;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Event &a, const Event &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    Tick now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace camllm
+
+#endif // CAMLLM_SIM_EVENT_QUEUE_H

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Unit tests for the baseline models: the stage pipeline, FlexGen,
+ * MLC-LLM, and the roofline analytics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/flexgen.h"
+#include "baselines/mlc_llm.h"
+#include "baselines/pipeline.h"
+#include "baselines/roofline.h"
+#include "llm/model_config.h"
+
+namespace camllm::baselines {
+namespace {
+
+// --- pipeline ---------------------------------------------------------------
+
+TEST(Pipeline, SingleStageIsPureTransfer)
+{
+    PipelineResult r = runPipeline({{"x", 1.0, 0}}, 1000, 100);
+    EXPECT_EQ(r.total_time, 1000u);
+}
+
+TEST(Pipeline, ThroughputConvergesToBottleneck)
+{
+    // 2 GB/s then 1 GB/s: steady state is bottleneck-bound.
+    std::vector<Stage> stages = {{"fast", 2.0, 0}, {"slow", 1.0, 0}};
+    PipelineResult r = runPipeline(stages, 1'000'000, 10'000);
+    // 100 chunks x 10 us at the slow stage + one fast-stage fill.
+    EXPECT_NEAR(double(r.total_time), 1'000'000.0 + 5'000.0, 100.0);
+    EXPECT_EQ(r.bottleneck_stage, 1u);
+}
+
+TEST(Pipeline, FillTimeIsSumOfStages)
+{
+    std::vector<Stage> stages = {{"a", 1.0, 10}, {"b", 1.0, 20}};
+    PipelineResult r = runPipeline(stages, 100, 100);
+    EXPECT_EQ(r.fill_time, (10u + 100) + (20u + 100));
+}
+
+TEST(Pipeline, SmallerChunksHideLatencyBetter)
+{
+    std::vector<Stage> stages = {{"a", 1.0, 0}, {"b", 1.0, 0}};
+    PipelineResult coarse = runPipeline(stages, 1'000'000, 1'000'000);
+    PipelineResult fine = runPipeline(stages, 1'000'000, 10'000);
+    EXPECT_LT(fine.total_time, coarse.total_time);
+}
+
+TEST(Pipeline, RaggedLastChunk)
+{
+    PipelineResult r = runPipeline({{"x", 1.0, 0}}, 250, 100);
+    EXPECT_EQ(r.total_time, 250u);
+}
+
+// --- FlexGen ----------------------------------------------------------------
+
+TEST(FlexGen, SsdSpeedMatchesPaperOpt67)
+{
+    FlexGenConfig cfg;
+    cfg.placement = FlexGenPlacement::Ssd;
+    auto r = flexgenDecode(llm::opt6_7b(),
+                           llm::QuantSpec::of(llm::QuantMode::W8A8), cfg);
+    // Paper Fig 9a: 0.8 token/s.
+    EXPECT_GT(r.tokens_per_s, 0.5);
+    EXPECT_LT(r.tokens_per_s, 1.2);
+}
+
+TEST(FlexGen, DramSpeedMatchesPaperOpt67)
+{
+    FlexGenConfig cfg;
+    cfg.placement = FlexGenPlacement::Dram;
+    auto r = flexgenDecode(llm::opt6_7b(),
+                           llm::QuantSpec::of(llm::QuantMode::W8A8), cfg);
+    // Paper Fig 9a: 3.5 token/s.
+    EXPECT_GT(r.tokens_per_s, 2.5);
+    EXPECT_LT(r.tokens_per_s, 4.5);
+}
+
+TEST(FlexGen, SpeedScalesInverselyWithModelSize)
+{
+    FlexGenConfig cfg;
+    double prev = 1e9;
+    for (const auto &m : llm::optFamily()) {
+        auto r = flexgenDecode(
+            m, llm::QuantSpec::of(llm::QuantMode::W8A8), cfg);
+        EXPECT_LT(r.tokens_per_s, prev) << m.name;
+        prev = r.tokens_per_s;
+    }
+}
+
+TEST(FlexGen, SsdPathAmplifiesTransfers3x)
+{
+    FlexGenConfig cfg;
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    llm::ModelConfig m = llm::opt6_7b();
+    auto r = flexgenDecode(m, quant, cfg);
+    const double weights =
+        double(quant.weightBytes(m.decodeWeightParams()));
+    EXPECT_NEAR(double(r.transfer_bytes) / weights, 3.0, 0.2);
+}
+
+TEST(FlexGen, DramPlacementIsFasterAndMovesLess)
+{
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    FlexGenConfig ssd;
+    FlexGenConfig dram;
+    dram.placement = FlexGenPlacement::Dram;
+    llm::ModelConfig m = llm::opt13b();
+    auto a = flexgenDecode(m, quant, ssd);
+    auto b = flexgenDecode(m, quant, dram);
+    EXPECT_GT(b.tokens_per_s, a.tokens_per_s * 3.0);
+    EXPECT_LT(b.transfer_bytes, a.transfer_bytes);
+    EXPECT_LT(b.energy_j, a.energy_j);
+}
+
+TEST(FlexGen, EnergyMatchesPaperBallpark)
+{
+    // Fig 16b: ~1.6 J/token for OPT-6.7B on FlexGen-SSD.
+    FlexGenConfig cfg;
+    auto r = flexgenDecode(llm::opt6_7b(),
+                           llm::QuantSpec::of(llm::QuantMode::W8A8), cfg);
+    EXPECT_GT(r.energy_j, 1.0);
+    EXPECT_LT(r.energy_j, 2.4);
+}
+
+// --- MLC-LLM ----------------------------------------------------------------
+
+TEST(MlcLlm, SevenBRunsNearPaperSpeed)
+{
+    auto r = mlcLlmDecode(llm::llama2_7b());
+    EXPECT_FALSE(r.oom);
+    // Paper Fig 9b: 7.58 token/s on the Snapdragon 8 Gen 2.
+    EXPECT_GT(r.tokens_per_s, 6.0);
+    EXPECT_LT(r.tokens_per_s, 9.0);
+}
+
+TEST(MlcLlm, ThirteenBAndSeventyBOom)
+{
+    EXPECT_TRUE(mlcLlmDecode(llm::llama2_13b()).oom);
+    EXPECT_TRUE(mlcLlmDecode(llm::llama2_70b()).oom);
+}
+
+TEST(MlcLlm, BiggerDramAvoidsOom)
+{
+    MlcLlmConfig cfg;
+    cfg.usable_dram_bytes = 64ull * 1000 * 1000 * 1000;
+    auto r = mlcLlmDecode(llm::llama2_13b(), cfg);
+    EXPECT_FALSE(r.oom);
+    EXPECT_GT(r.tokens_per_s, 0.0);
+}
+
+// --- roofline ---------------------------------------------------------------
+
+TEST(Roofline, DecodeAiIsTwo)
+{
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    double ai = llmDecodeAi(llm::opt6_7b(), quant, 512);
+    EXPECT_NEAR(ai, 2.0, 0.05);
+}
+
+TEST(Roofline, PrefillAiScalesWithPromptLength)
+{
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    double a = llmPrefillAi(llm::opt6_7b(), quant, 64);
+    double b = llmPrefillAi(llm::opt6_7b(), quant, 512);
+    EXPECT_GT(b, a * 4.0);
+    EXPECT_NEAR(a, 2.0 * 64, 15.0);
+}
+
+TEST(Roofline, OtherWorkloadsFarExceedDecode)
+{
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    const double decode = llmDecodeAi(llm::opt6_7b(), quant, 512);
+    EXPECT_GT(vgg16Ai(1) / decode, 30.0);
+    EXPECT_GT(bertBaseAi(8, 256) / decode, 30.0);
+    EXPECT_GT(dlrmAi(64) / decode, 10.0);
+}
+
+TEST(Roofline, DeviceRidgePoints)
+{
+    for (const auto &d : referenceDevices()) {
+        EXPECT_GE(d.ridge(), 50.0) << d.name;
+        // At AI=2, every reference device is severely memory bound.
+        EXPECT_LT(d.attainableGops(2.0) / (d.tops * 1000.0), 0.05)
+            << d.name;
+    }
+}
+
+TEST(Roofline, AttainablePerformanceSaturates)
+{
+    Device a100{"A100", 624.0, 2039.0};
+    EXPECT_DOUBLE_EQ(a100.attainableGops(1e9), 624000.0);
+    EXPECT_DOUBLE_EQ(a100.attainableGops(1.0), 2039.0);
+}
+
+TEST(Roofline, ReductionRatioGapIsHuge)
+{
+    auto points = reductionRatios(4096);
+    ASSERT_FALSE(points.empty());
+    EXPECT_EQ(points[0].reduction_ratio, 4096.0);
+    double max_other = 0.0;
+    for (std::size_t i = 1; i < points.size(); ++i)
+        max_other = std::max(max_other, points[i].reduction_ratio);
+    // Fig 1b: LLM GeMV is ~100x beyond any prior ISC workload.
+    EXPECT_GT(points[0].reduction_ratio / max_other, 50.0);
+}
+
+} // namespace
+} // namespace camllm::baselines

@@ -1,0 +1,428 @@
+/**
+ * @file
+ * Unit + property tests for the error-correction substrate: bit-flip
+ * injection, Hamming(19,14), the outlier page codec and the
+ * page-backed store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "ecc/bitflip.h"
+#include "ecc/bitstream.h"
+#include "ecc/hamming.h"
+#include "ecc/outlier_codec.h"
+#include "ecc/page_store.h"
+
+namespace camllm::ecc {
+namespace {
+
+// --- bit flips ---------------------------------------------------------------
+
+TEST(BitFlip, ZeroRateFlipsNothing)
+{
+    std::vector<std::uint8_t> buf(4096, 0xA5);
+    Rng rng(1);
+    EXPECT_EQ(injectBitFlips(buf, 0.0, rng), 0u);
+    for (auto b : buf)
+        EXPECT_EQ(b, 0xA5);
+}
+
+TEST(BitFlip, RateMatchesExpectation)
+{
+    std::vector<std::uint8_t> buf(1 << 20, 0);
+    Rng rng(2);
+    const double ber = 1e-3;
+    std::uint64_t flips = injectBitFlips(buf, ber, rng);
+    const double expected = double(buf.size()) * 8 * ber;
+    EXPECT_NEAR(double(flips), expected, 4 * std::sqrt(expected));
+
+    // Count set bits == reported flips (fresh buffer was all zero).
+    std::uint64_t pop = 0;
+    for (auto b : buf)
+        pop += __builtin_popcount(b);
+    EXPECT_EQ(pop, flips);
+}
+
+TEST(BitFlip, HighRateStillBernoulli)
+{
+    std::vector<std::uint8_t> buf(1 << 16, 0);
+    Rng rng(3);
+    std::uint64_t flips = injectBitFlips(buf, 0.25, rng);
+    const double expected = double(buf.size()) * 8 * 0.25;
+    EXPECT_NEAR(double(flips), expected, 5 * std::sqrt(expected));
+}
+
+TEST(BitFlip, Deterministic)
+{
+    std::vector<std::uint8_t> a(4096, 0), b(4096, 0);
+    Rng ra(42), rb(42);
+    injectBitFlips(a, 1e-2, ra);
+    injectBitFlips(b, 1e-2, rb);
+    EXPECT_EQ(a, b);
+}
+
+// --- bit stream ----------------------------------------------------------------
+
+TEST(BitStream, RoundTripMixedWidths)
+{
+    BitWriter w;
+    w.put(0x5, 3);
+    w.put(0x1234, 16);
+    w.put(0x7ffff, 19);
+    w.put(1, 1);
+    BitReader r(w.bytes());
+    EXPECT_EQ(r.get(3), 0x5u);
+    EXPECT_EQ(r.get(16), 0x1234u);
+    EXPECT_EQ(r.get(19), 0x7ffffu);
+    EXPECT_EQ(r.get(1), 1u);
+}
+
+TEST(BitStream, ByteCountIsCeil)
+{
+    BitWriter w;
+    w.put(0, 9);
+    EXPECT_EQ(w.bytes().size(), 2u);
+}
+
+// --- Hamming -------------------------------------------------------------------
+
+TEST(Hamming, CleanRoundTripAllBoundaryValues)
+{
+    for (std::uint32_t v : {0u, 1u, 0x1555u, 0x2aaau, 0x3fffu}) {
+        auto cw = hammingEncode(std::uint16_t(v));
+        auto res = hammingDecode(cw);
+        EXPECT_EQ(res.status, HammingResult::Status::Ok);
+        EXPECT_EQ(res.value, v);
+    }
+}
+
+TEST(Hamming, CorrectsEverySingleBitError)
+{
+    // Exhaustive: every payload pattern x every flipped position.
+    for (std::uint32_t v = 0; v < (1u << kHammingDataBits);
+         v += 257) { // stride keeps runtime sane, still covers widely
+        const std::uint32_t cw = hammingEncode(std::uint16_t(v));
+        for (unsigned bit = 0; bit < kHammingCodeBits; ++bit) {
+            auto res = hammingDecode(cw ^ (1u << bit));
+            EXPECT_EQ(res.status, HammingResult::Status::Corrected);
+            EXPECT_EQ(res.value, v);
+        }
+    }
+}
+
+TEST(Hamming, DoubleErrorsNeverSilentlyPassAsClean)
+{
+    // A 2-bit error may miscorrect (SEC limitation) but must never
+    // yield syndrome zero.
+    const std::uint32_t cw = hammingEncode(0x1234 & 0x3fff);
+    for (unsigned i = 0; i < kHammingCodeBits; ++i) {
+        for (unsigned j = i + 1; j < kHammingCodeBits; ++j) {
+            auto res =
+                hammingDecode(cw ^ (1u << i) ^ (1u << j));
+            EXPECT_NE(res.status, HammingResult::Status::Ok);
+        }
+    }
+}
+
+TEST(Hamming, SomeSyndromesAreUncorrectable)
+{
+    // Syndromes 20..31 do not name a codeword position.
+    int uncorrectable = 0;
+    const std::uint32_t cw = hammingEncode(0x0);
+    for (unsigned i = 0; i < kHammingCodeBits; ++i)
+        for (unsigned j = i + 1; j < kHammingCodeBits; ++j)
+            if (hammingDecode(cw ^ (1u << i) ^ (1u << j)).status ==
+                HammingResult::Status::Uncorrectable)
+                ++uncorrectable;
+    EXPECT_GT(uncorrectable, 0);
+}
+
+// --- outlier codec --------------------------------------------------------------
+
+std::vector<std::int8_t>
+syntheticPage(std::size_t elems, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::int8_t> page(elems);
+    for (auto &v : page) {
+        double x = rng.normal() * 14.0;
+        if (rng.chance(0.005))
+            x *= 6.0;
+        x = std::max(-127.0, std::min(127.0, x));
+        v = std::int8_t(x);
+    }
+    return page;
+}
+
+TEST(OutlierCodec, SizeMatchesPaperFor16KPage)
+{
+    OutlierCodec codec;
+    EXPECT_EQ(codec.protectedCount(16384), 163u);
+    // Paper: 8*9 + (14+5+8*2)*163 bits = 722 B (723 with ceiling).
+    EXPECT_NEAR(double(codec.eccBytes(16384)), 722.0, 1.5);
+    EXPECT_LE(codec.eccBytes(16384), 1664u);
+}
+
+TEST(OutlierCodec, CleanDecodeIsIdentity)
+{
+    OutlierCodec codec;
+    auto page = syntheticPage(16384, 1);
+    auto ecc = codec.encode(page);
+    auto copy = page;
+    OutlierDecodeStats st;
+    codec.decode(copy, ecc, &st);
+    EXPECT_EQ(copy, page);
+    EXPECT_EQ(st.voted_repairs, 0u);
+    EXPECT_EQ(st.clamped, 0u);
+    EXPECT_EQ(st.records_dropped, 0u);
+}
+
+TEST(OutlierCodec, RepairsFlippedOutlier)
+{
+    OutlierCodec codec;
+    auto page = syntheticPage(16384, 2);
+    auto ecc = codec.encode(page);
+
+    // Find the largest-magnitude element: certainly protected.
+    std::size_t big = 0;
+    for (std::size_t i = 1; i < page.size(); ++i)
+        if (std::abs(int(page[i])) > std::abs(int(page[big])))
+            big = i;
+
+    auto corrupted = page;
+    corrupted[big] = std::int8_t(corrupted[big] ^ 0x40); // flip bit 6
+    OutlierDecodeStats st;
+    codec.decode(corrupted, ecc, &st);
+    EXPECT_EQ(corrupted[big], page[big]);
+    EXPECT_EQ(st.voted_repairs, 1u);
+}
+
+TEST(OutlierCodec, ClampsFakeOutlier)
+{
+    OutlierCodec codec;
+    auto page = syntheticPage(16384, 3);
+    auto ecc = codec.encode(page);
+
+    // Find a small unprotected value and blast it above the threshold.
+    std::size_t small = 0;
+    for (std::size_t i = 0; i < page.size(); ++i)
+        if (std::abs(int(page[i])) <= 2) {
+            small = i;
+            break;
+        }
+    auto corrupted = page;
+    corrupted[small] = 127; // MSB-flipped small value: a fake outlier
+    OutlierDecodeStats st;
+    codec.decode(corrupted, ecc, &st);
+    EXPECT_EQ(corrupted[small], 0);
+    EXPECT_EQ(st.clamped, 1u);
+}
+
+TEST(OutlierCodec, LeavesModerateValuesAlone)
+{
+    OutlierCodec codec;
+    auto page = syntheticPage(16384, 4);
+    auto ecc = codec.encode(page);
+    // A small flip on a small value stays under the threshold: the
+    // codec must not touch it (this is exactly its blind spot).
+    std::size_t small = 0;
+    for (std::size_t i = 0; i < page.size(); ++i)
+        if (page[i] == 1) {
+            small = i;
+            break;
+        }
+    auto corrupted = page;
+    corrupted[small] = 5;
+    codec.decode(corrupted, ecc, nullptr);
+    EXPECT_EQ(corrupted[small], 5);
+}
+
+TEST(OutlierCodec, SurvivesCorruptedEccRecords)
+{
+    OutlierCodec codec;
+    auto page = syntheticPage(16384, 5);
+    auto ecc = codec.encode(page);
+    // Corrupt the ECC blob heavily; decode must not crash and should
+    // drop some records.
+    Rng rng(6);
+    injectBitFlips(ecc, 0.02, rng);
+    auto corrupted = page;
+    OutlierDecodeStats st;
+    codec.decode(corrupted, ecc, &st);
+    EXPECT_EQ(st.records, 163u);
+}
+
+TEST(OutlierCodec, SmallPageProtectsAtLeastOne)
+{
+    OutlierCodec codec;
+    EXPECT_EQ(codec.protectedCount(50), 1u);
+    std::vector<std::int8_t> page(50, 1);
+    page[7] = 100;
+    auto ecc = codec.encode(page);
+    auto corrupted = page;
+    corrupted[7] = 0;
+    codec.decode(corrupted, ecc, nullptr);
+    EXPECT_EQ(corrupted[7], 100);
+}
+
+/** Protected index set, recomputed exactly like the encoder. */
+std::vector<std::size_t>
+protectedSet(const std::vector<std::int8_t> &page, std::size_t n_prot)
+{
+    std::vector<std::size_t> idx(page.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        idx[i] = i;
+    std::nth_element(idx.begin(), idx.begin() + (n_prot - 1), idx.end(),
+                     [&](std::size_t a, std::size_t b) {
+                         int ma = int(page[a]);
+                         int mb = int(page[b]);
+                         ma = ma < 0 ? -ma : ma;
+                         mb = mb < 0 ? -mb : mb;
+                         return ma > mb;
+                     });
+    idx.resize(n_prot);
+    return idx;
+}
+
+TEST(OutlierCodecProperty, DataOnlyCorruptionFullyRepaired)
+{
+    // When flips hit the data area but the spare survives, every
+    // protected value is restored exactly: two clean copies always
+    // outvote the corrupted original.
+    OutlierCodec codec;
+    Rng rng(7);
+    for (int trial = 0; trial < 20; ++trial) {
+        auto page = syntheticPage(4096, 300 + trial);
+        auto ecc = codec.encode(page);
+        auto prot = protectedSet(page, codec.protectedCount(4096));
+
+        auto corrupted = page;
+        auto *raw = reinterpret_cast<std::uint8_t *>(corrupted.data());
+        injectBitFlips({raw, corrupted.size()}, 0.02, rng);
+        codec.decode(corrupted, ecc, nullptr);
+
+        for (std::size_t i : prot)
+            ASSERT_EQ(corrupted[i], page[i]) << "trial " << trial;
+    }
+}
+
+TEST(OutlierCodecProperty, ProtectedFlipRateQuadraticInBer)
+{
+    // With flips hitting data *and* spare, protected corruption comes
+    // from two quadratic channels: double-flipped vote copies (~3x^2)
+    // and Hamming-dropped records whose outliers get clamped
+    // (~C(19,2) x^2 per record). Both scale as x^2, so the measured
+    // rate must stay far below x and quadruple when x doubles.
+    OutlierCodec codec;
+
+    auto measure = [&](double x, std::uint64_t seed) {
+        Rng rng(seed);
+        std::uint64_t bits = 0, bad = 0;
+        for (int trial = 0; trial < 150; ++trial) {
+            auto page = syntheticPage(4096, 1000 + trial);
+            auto ecc = codec.encode(page);
+            auto prot = protectedSet(page, codec.protectedCount(4096));
+            auto corrupted = page;
+            auto *raw =
+                reinterpret_cast<std::uint8_t *>(corrupted.data());
+            injectBitFlips({raw, corrupted.size()}, x, rng);
+            injectBitFlips(ecc, x, rng);
+            codec.decode(corrupted, ecc, nullptr);
+            for (std::size_t i : prot) {
+                bits += 8;
+                bad += __builtin_popcount(std::uint8_t(corrupted[i]) ^
+                                          std::uint8_t(page[i]));
+            }
+        }
+        return double(bad) / double(bits);
+    };
+
+    const double at_x = measure(5e-3, 11);
+    const double at_2x = measure(1e-2, 12);
+    EXPECT_GT(at_x, 0.0);
+    EXPECT_LT(at_x, 5e-3 / 2.0);      // strong protection at BER x
+    EXPECT_GT(at_2x, 2.2 * at_x);     // superlinear (quadratic) growth
+    EXPECT_LT(at_2x, 8.0 * at_x);
+}
+
+// --- page store -----------------------------------------------------------------
+
+TEST(PageStore, RoundTripWithoutErrors)
+{
+    PageStore store;
+    auto page = syntheticPage(40000, 8); // 3 pages, last partial
+    store.load(page);
+    EXPECT_EQ(store.pageCount(), 3u);
+    EXPECT_EQ(store.readBack(), page);
+}
+
+TEST(PageStore, EccDisabledReturnsRawCorruption)
+{
+    PageStoreParams params;
+    params.ecc_enabled = false;
+    PageStore store(params);
+    auto blob = syntheticPage(16384, 9);
+    store.load(blob);
+    std::uint64_t flips = store.injectErrors(1e-3, 77);
+    EXPECT_GT(flips, 0u);
+    auto back = store.readBack();
+    std::uint64_t diff = 0;
+    for (std::size_t i = 0; i < blob.size(); ++i)
+        diff += __builtin_popcount(std::uint8_t(back[i]) ^
+                                   std::uint8_t(blob[i]));
+    // Spare-area flips are included in `flips`, so data diffs are a
+    // subset of all flips but close to the data-bit share.
+    EXPECT_GT(diff, 0u);
+    EXPECT_LE(diff, flips);
+}
+
+TEST(PageStore, EccReducesWeightedError)
+{
+    auto blob = syntheticPage(65536, 10);
+
+    auto magnitude_error = [&](bool ecc_on) {
+        PageStoreParams params;
+        params.ecc_enabled = ecc_on;
+        PageStore store(params);
+        store.load(blob);
+        store.injectErrors(5e-4, 123);
+        auto back = store.readBack();
+        double err = 0;
+        for (std::size_t i = 0; i < blob.size(); ++i)
+            err += std::abs(double(back[i]) - double(blob[i]));
+        return err;
+    };
+
+    // The codec protects exactly the large-magnitude errors, so the
+    // total absolute error must drop substantially.
+    EXPECT_LT(magnitude_error(true), 0.6 * magnitude_error(false));
+}
+
+TEST(PageStore, StatsAccumulateAcrossPages)
+{
+    PageStore store;
+    auto blob = syntheticPage(3 * 16384, 11);
+    store.load(blob);
+    store.injectErrors(1e-3, 55);
+    OutlierDecodeStats st;
+    store.readBack(&st);
+    EXPECT_EQ(st.records, 3u * 163u);
+}
+
+TEST(PageStoreDeath, RejectsUndersizedSpare)
+{
+    PageStoreParams params;
+    params.spare_bytes = 16; // far below the ~723 B the code needs
+    EXPECT_EXIT(PageStore store(params),
+                ::testing::ExitedWithCode(1), "spare");
+}
+
+} // namespace
+} // namespace camllm::ecc

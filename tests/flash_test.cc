@@ -1,0 +1,598 @@
+/**
+ * @file
+ * Unit tests for the flash substrate: geometry/addressing, the
+ * priority channel bus, die pipelines (read and read-compute), the
+ * per-channel scheduler, and weight placement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "flash/address.h"
+#include "flash/channel_engine.h"
+#include "flash/flash_system.h"
+#include "flash/placement.h"
+#include "sim/event_queue.h"
+
+namespace camllm::flash {
+namespace {
+
+/** Small, fast parameters for exact-timing tests. */
+FlashParams
+testParams()
+{
+    FlashParams p;
+    p.geometry.channels = 1;
+    p.geometry.chips_per_channel = 1;
+    p.geometry.dies_per_chip = 1;
+    p.geometry.planes_per_die = 2;
+    p.geometry.blocks_per_plane = 8;
+    p.geometry.pages_per_block = 16;
+    p.geometry.page_bytes = 1024;
+    p.timing.t_read = 1000;
+    p.timing.bus_mts = 1000; // 1 B/ns
+    p.timing.bus_bits = 8;
+    p.timing.grant_overhead = 10;
+    p.timing.t_reg_move = 50;
+    p.timing.slice_bytes = 256;
+    return p;
+}
+
+struct TestListener : ChannelEngine::Listener
+{
+    EventQueue *eq = nullptr;
+    std::map<std::uint64_t, std::uint64_t> rc_results;
+    std::map<std::uint64_t, std::uint64_t> read_bytes;
+    std::vector<Tick> rc_times;
+    std::vector<Tick> read_times;
+
+    void
+    onRcResult(std::uint64_t op) override
+    {
+        ++rc_results[op];
+        if (eq)
+            rc_times.push_back(eq->now());
+    }
+
+    void
+    onReadDelivered(std::uint64_t op, std::uint32_t bytes) override
+    {
+        read_bytes[op] += bytes;
+        if (eq)
+            read_times.push_back(eq->now());
+    }
+};
+
+// --- geometry -------------------------------------------------------------
+
+TEST(FlashGeometry, DerivedCounts)
+{
+    FlashGeometry g;
+    g.channels = 8;
+    g.chips_per_channel = 2;
+    g.dies_per_chip = 2;
+    g.planes_per_die = 2;
+    EXPECT_EQ(g.diesPerChannel(), 4u);
+    EXPECT_EQ(g.coresPerChannel(), 4u);
+    EXPECT_EQ(g.totalDies(), 32u);
+}
+
+TEST(FlashGeometry, CapacityMath)
+{
+    FlashGeometry g = testParams().geometry;
+    EXPECT_EQ(g.planeBytes(), 8u * 16 * 1024);
+    EXPECT_EQ(g.dieBytes(), 2u * 8 * 16 * 1024);
+    EXPECT_EQ(g.totalPages(), 2u * 8 * 16);
+}
+
+TEST(FlashGeometry, TableIIPresetCapacityHoldsA70BModel)
+{
+    FlashGeometry g; // defaults: 2048 blocks x 256 pages x 16 KB
+    g.channels = 8;
+    g.chips_per_channel = 2;
+    // >= 80 GB for INT8 Llama2-70B.
+    EXPECT_GT(g.totalBytes(), 80ull * 1000 * 1000 * 1000);
+}
+
+TEST(FlashGeometry, InvalidWhenZeroField)
+{
+    FlashGeometry g;
+    g.channels = 0;
+    EXPECT_FALSE(g.valid());
+}
+
+TEST(FlashTiming, BusBytesPerNs)
+{
+    FlashTiming t;
+    t.bus_mts = 1000;
+    t.bus_bits = 8;
+    EXPECT_DOUBLE_EQ(t.busBytesPerNs(), 1.0);
+    t.bus_mts = 2000;
+    EXPECT_DOUBLE_EQ(t.busBytesPerNs(), 2.0);
+}
+
+TEST(FlashTiming, MatchedComputeEqualsReadTime)
+{
+    FlashTiming t;
+    t.t_read = 30000;
+    t.core_gops = 0.0; // matched design point
+    EXPECT_EQ(t.computeTime(16384, 16384), 30000u);
+    EXPECT_EQ(t.computeTime(8192, 16384), 15000u);
+}
+
+TEST(FlashTiming, ExplicitGopsCompute)
+{
+    FlashTiming t;
+    t.core_gops = 4.0; // 4 ops per ns
+    EXPECT_EQ(t.computeTime(16384, 16384), Tick(2 * 16384 / 4));
+}
+
+// --- addressing -------------------------------------------------------------
+
+TEST(PageIndexer, RoundTripExhaustiveSmall)
+{
+    FlashGeometry g = testParams().geometry;
+    PageIndexer ix(g);
+    for (std::uint64_t i = 0; i < ix.totalPages(); ++i) {
+        PageAddress a = ix.toAddress(i);
+        EXPECT_TRUE(a.validFor(g));
+        EXPECT_EQ(ix.toLinear(a), i);
+    }
+}
+
+TEST(PageIndexer, ChannelIsSlowestCoordinate)
+{
+    FlashGeometry g;
+    g.channels = 4;
+    PageIndexer ix(g);
+    PageAddress a = ix.toAddress(0);
+    EXPECT_EQ(a.channel, 0u);
+    PageAddress b = ix.toAddress(ix.totalPages() - 1);
+    EXPECT_EQ(b.channel, 3u);
+}
+
+TEST(PageAddress, ValidityBounds)
+{
+    FlashGeometry g = testParams().geometry;
+    PageAddress a;
+    EXPECT_TRUE(a.validFor(g));
+    a.plane = 2;
+    EXPECT_FALSE(a.validFor(g));
+}
+
+// --- channel bus ------------------------------------------------------------
+
+TEST(ChannelBus, SingleGrantTiming)
+{
+    EventQueue eq;
+    ChannelBus bus(eq, 1.0, 10);
+    Tick done = 0;
+    bus.request(BusPriority::Low, 100, [&] { done = eq.now(); });
+    eq.run();
+    EXPECT_EQ(done, 110u); // overhead + bytes
+    EXPECT_EQ(bus.bytesLow(), 100u);
+    EXPECT_EQ(bus.grants(), 1u);
+}
+
+TEST(ChannelBus, HighPreemptsQueuedLow)
+{
+    EventQueue eq;
+    ChannelBus bus(eq, 1.0, 0);
+    std::vector<int> order;
+    bus.request(BusPriority::Low, 100, [&] { order.push_back(0); });
+    bus.request(BusPriority::Low, 100, [&] { order.push_back(1); });
+    bus.request(BusPriority::High, 10, [&] { order.push_back(2); });
+    eq.run();
+    // The first low grant was already in flight; the high one jumps
+    // the remaining queue.
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 1}));
+}
+
+TEST(ChannelBus, NonPreemptiveWithinGrant)
+{
+    EventQueue eq;
+    ChannelBus bus(eq, 1.0, 0);
+    Tick high_done = 0;
+    bus.request(BusPriority::Low, 1000, [] {});
+    bus.request(BusPriority::High, 10, [&] { high_done = eq.now(); });
+    eq.run();
+    // High must wait for the full 1000-byte low grant.
+    EXPECT_EQ(high_done, 1010u);
+}
+
+TEST(ChannelBus, TracksBusyTime)
+{
+    EventQueue eq;
+    ChannelBus bus(eq, 1.0, 10);
+    bus.request(BusPriority::Low, 90, [] {});
+    bus.request(BusPriority::High, 40, [] {});
+    eq.run();
+    EXPECT_EQ(bus.busy().busyTicks(), 100u + 50u);
+}
+
+TEST(ChannelBus, TraceHookSeesGrants)
+{
+    EventQueue eq;
+    ChannelBus bus(eq, 1.0, 0);
+    std::vector<ChannelBus::GrantTrace> traces;
+    bus.setTraceHook([&](const ChannelBus::GrantTrace &g) {
+        traces.push_back(g);
+    });
+    bus.request(BusPriority::High, 8, [] {}, "input");
+    bus.request(BusPriority::Low, 16, [] {}, "slice");
+    eq.run();
+    ASSERT_EQ(traces.size(), 2u);
+    EXPECT_EQ(traces[0].bytes, 8u);
+    EXPECT_EQ(traces[0].priority, BusPriority::High);
+    EXPECT_STREQ(traces[1].label, "slice");
+}
+
+// --- die + channel engine ---------------------------------------------------
+
+TEST(ChannelEngine, ReadJobExactTiming)
+{
+    EventQueue eq;
+    TestListener lis;
+    lis.eq = &eq;
+    ChannelEngine ce(eq, testParams(), lis);
+    ce.submitRead({7, 1024, true});
+    eq.run();
+    // tR + reg move + 4 slices of (10 + 256).
+    EXPECT_EQ(lis.read_times.at(0), 1000u + 50 + 4 * 266);
+    EXPECT_EQ(lis.read_bytes[7], 1024u);
+    EXPECT_EQ(ce.pagesRead(), 1u);
+}
+
+TEST(ChannelEngine, UnslicedReadIsOneGrant)
+{
+    EventQueue eq;
+    TestListener lis;
+    lis.eq = &eq;
+    ChannelEngine ce(eq, testParams(), lis);
+    ce.submitRead({7, 1024, false});
+    eq.run();
+    EXPECT_EQ(lis.read_times.at(0), 1000u + 50 + 10 + 1024);
+    EXPECT_EQ(ce.bus().grants(), 1u);
+}
+
+TEST(ChannelEngine, PartialPageReadFewerSlices)
+{
+    EventQueue eq;
+    TestListener lis;
+    ChannelEngine ce(eq, testParams(), lis);
+    ce.submitRead({1, 300, true});
+    eq.run();
+    // ceil(300/256) = 2 slices.
+    EXPECT_EQ(ce.bus().grants(), 2u);
+    EXPECT_EQ(lis.read_bytes[1], 300u);
+}
+
+TEST(ChannelEngine, RcTileExactTiming)
+{
+    EventQueue eq;
+    TestListener lis;
+    lis.eq = &eq;
+    ChannelEngine ce(eq, testParams(), lis);
+    RcTileWork tile;
+    tile.op_id = 3;
+    tile.cores_used = 1;
+    tile.input_bytes = 64;
+    tile.out_bytes_per_core = 32;
+    tile.compute_time = 500;
+    ce.submitTile(tile);
+    eq.run();
+    // input grant [0,74]; array read [74,1074] (step 1 precedes
+    // step 2); move [1074,1124]; compute [1124,1624]; result grant
+    // [1624,1666].
+    EXPECT_EQ(lis.rc_times.at(0), 1666u);
+    EXPECT_EQ(lis.rc_results[3], 1u);
+    EXPECT_EQ(ce.pagesComputed(), 1u);
+}
+
+TEST(ChannelEngine, RcSteadyStateCadenceReadBound)
+{
+    EventQueue eq;
+    TestListener lis;
+    lis.eq = &eq;
+    ChannelEngine ce(eq, testParams(), lis);
+    RcTileWork tile;
+    tile.op_id = 1;
+    tile.cores_used = 1;
+    tile.input_bytes = 64;
+    tile.out_bytes_per_core = 32;
+    tile.compute_time = 500; // < tR: cadence = t_reg_move + tR
+    for (int i = 0; i < 4; ++i)
+        ce.submitTile(tile);
+    eq.run();
+    ASSERT_EQ(lis.rc_times.size(), 4u);
+    for (std::size_t i = 1; i < lis.rc_times.size(); ++i)
+        EXPECT_EQ(lis.rc_times[i] - lis.rc_times[i - 1], 1050u);
+}
+
+TEST(ChannelEngine, RcSteadyStateCadenceComputeBound)
+{
+    EventQueue eq;
+    TestListener lis;
+    lis.eq = &eq;
+    ChannelEngine ce(eq, testParams(), lis);
+    RcTileWork tile;
+    tile.op_id = 1;
+    tile.cores_used = 1;
+    tile.input_bytes = 64;
+    tile.out_bytes_per_core = 32;
+    tile.compute_time = 2000; // > tR: core limits
+    for (int i = 0; i < 4; ++i)
+        ce.submitTile(tile);
+    eq.run();
+    ASSERT_EQ(lis.rc_times.size(), 4u);
+    for (std::size_t i = 1; i < lis.rc_times.size(); ++i)
+        EXPECT_EQ(lis.rc_times[i] - lis.rc_times[i - 1], 2050u);
+}
+
+TEST(ChannelEngine, TileFansOutToAllCores)
+{
+    EventQueue eq;
+    TestListener lis;
+    FlashParams p = testParams();
+    p.geometry.chips_per_channel = 2;
+    p.geometry.dies_per_chip = 2; // 4 cores on the channel
+    ChannelEngine ce(eq, p, lis);
+    RcTileWork tile;
+    tile.op_id = 9;
+    tile.cores_used = 4;
+    tile.input_bytes = 64;
+    tile.out_bytes_per_core = 16;
+    tile.compute_time = 500;
+    ce.submitTile(tile);
+    eq.run();
+    EXPECT_EQ(lis.rc_results[9], 4u);
+    EXPECT_EQ(ce.pagesComputed(), 4u);
+    // One broadcast input grant + 4 result grants.
+    EXPECT_EQ(ce.bus().grants(), 5u);
+}
+
+TEST(ChannelEngine, PartialTileUsesSubsetOfCores)
+{
+    EventQueue eq;
+    TestListener lis;
+    FlashParams p = testParams();
+    p.geometry.chips_per_channel = 4; // 4 dies
+    ChannelEngine ce(eq, p, lis);
+    RcTileWork tile;
+    tile.op_id = 2;
+    tile.cores_used = 3;
+    tile.input_bytes = 8;
+    tile.out_bytes_per_core = 8;
+    tile.compute_time = 100;
+    ce.submitTile(tile);
+    eq.run();
+    EXPECT_EQ(lis.rc_results[2], 3u);
+    EXPECT_EQ(ce.die(3).pagesComputed(), 0u);
+}
+
+TEST(ChannelEngine, ReadsSpreadRoundRobinAcrossDies)
+{
+    EventQueue eq;
+    TestListener lis;
+    FlashParams p = testParams();
+    p.geometry.chips_per_channel = 2;
+    p.geometry.dies_per_chip = 2;
+    ChannelEngine ce(eq, p, lis);
+    for (int i = 0; i < 8; ++i)
+        ce.submitRead({1, p.geometry.page_bytes, true});
+    eq.run();
+    for (std::size_t d = 0; d < ce.dieCount(); ++d)
+        EXPECT_EQ(ce.die(d).pagesRead(), 2u);
+}
+
+TEST(ChannelEngine, ReadsDoNotStallRcStream)
+{
+    // The paper's key scheduling property: sliced reads fill channel
+    // bubbles without delaying read-compute completions.
+    FlashParams p = testParams();
+    p.geometry.chips_per_channel = 2; // 2 dies
+
+    auto run_rc = [&](bool with_reads) {
+        EventQueue eq;
+        TestListener lis;
+        lis.eq = &eq;
+        ChannelEngine ce(eq, p, lis);
+        RcTileWork tile;
+        tile.op_id = 1;
+        tile.cores_used = 2;
+        tile.input_bytes = 64;
+        tile.out_bytes_per_core = 32;
+        tile.compute_time = 900;
+        for (int i = 0; i < 10; ++i)
+            ce.submitTile(tile);
+        if (with_reads)
+            for (int i = 0; i < 40; ++i)
+                ce.submitRead({2, p.geometry.page_bytes, true});
+        eq.run();
+        return lis.rc_times.back();
+    };
+
+    const Tick alone = run_rc(false);
+    const Tick with_reads = run_rc(true);
+    // Sliced reads may add at most a slice-grant's worth of delay per
+    // tile, a few percent here.
+    EXPECT_LT(double(with_reads), double(alone) * 1.10);
+}
+
+TEST(ChannelEngine, UnslicedReadsDoStallRcStream)
+{
+    // Without Slice Control the channel loses both the slicing and
+    // the priority arbitration (a conventional FIFO flash channel):
+    // monolithic page transfers land ahead of rc inputs and block
+    // them, stretching the read-compute stream (paper Fig 6b vs 6c).
+    FlashParams p = testParams();
+    p.geometry.chips_per_channel = 2;
+
+    auto run_rc = [&](bool slice_control) {
+        EventQueue eq;
+        TestListener lis;
+        lis.eq = &eq;
+        ChannelEngine ce(eq, p, lis, 3, slice_control);
+        RcTileWork tile;
+        tile.op_id = 1;
+        tile.cores_used = 2;
+        tile.input_bytes = 64;
+        tile.out_bytes_per_core = 32;
+        tile.compute_time = 900;
+        for (int i = 0; i < 10; ++i)
+            ce.submitTile(tile);
+        for (int i = 0; i < 40; ++i)
+            ce.submitRead({2, p.geometry.page_bytes, slice_control});
+        eq.run();
+        return lis.rc_times.back();
+    };
+
+    const Tick with_slice = run_rc(true);
+    const Tick without = run_rc(false);
+    EXPECT_GT(double(without), double(with_slice) * 1.2);
+}
+
+TEST(ChannelEngine, TileWindowBoundsInFlightTiles)
+{
+    EventQueue eq;
+    TestListener lis;
+    ChannelEngine ce(eq, testParams(), lis, 2);
+    RcTileWork tile;
+    tile.op_id = 1;
+    tile.cores_used = 1;
+    tile.input_bytes = 8;
+    tile.out_bytes_per_core = 8;
+    tile.compute_time = 100;
+    for (int i = 0; i < 6; ++i)
+        ce.submitTile(tile);
+    EXPECT_EQ(ce.tilesInFlight(), 6u);
+    eq.run();
+    EXPECT_EQ(ce.tilesInFlight(), 0u);
+    EXPECT_EQ(lis.rc_results[1], 6u);
+}
+
+// --- flash system -----------------------------------------------------------
+
+TEST(FlashSystem, RoutesWorkToChannels)
+{
+    EventQueue eq;
+    TestListener lis;
+    FlashParams p = testParams();
+    p.geometry.channels = 4;
+    FlashSystem fs(eq, p, lis);
+    RcTileWork tile;
+    tile.op_id = 5;
+    tile.cores_used = 1;
+    tile.input_bytes = 8;
+    tile.out_bytes_per_core = 8;
+    tile.compute_time = 100;
+    for (std::uint32_t c = 0; c < 4; ++c)
+        fs.submitTile(c, tile);
+    fs.submitRead(2, {6, 512, true});
+    eq.run();
+    EXPECT_EQ(lis.rc_results[5], 4u);
+    EXPECT_EQ(lis.read_bytes[6], 512u);
+    EXPECT_EQ(fs.pagesComputed(), 4u);
+    EXPECT_EQ(fs.pagesRead(), 1u);
+    EXPECT_EQ(fs.arrayReads(), 5u);
+}
+
+TEST(FlashSystem, ChannelByteAccounting)
+{
+    EventQueue eq;
+    TestListener lis;
+    FlashParams p = testParams();
+    FlashSystem fs(eq, p, lis);
+    RcTileWork tile;
+    tile.op_id = 1;
+    tile.cores_used = 1;
+    tile.input_bytes = 100;
+    tile.out_bytes_per_core = 20;
+    tile.compute_time = 10;
+    fs.submitTile(0, tile);
+    fs.submitRead(0, {2, 512, true});
+    eq.run();
+    EXPECT_EQ(fs.channelBytesHigh(), 120u);
+    EXPECT_EQ(fs.channelBytesLow(), 512u);
+    EXPECT_EQ(fs.channelBytes(), 632u);
+}
+
+TEST(FlashSystem, UtilizationBetweenZeroAndOne)
+{
+    EventQueue eq;
+    TestListener lis;
+    FlashParams p = testParams();
+    FlashSystem fs(eq, p, lis);
+    for (int i = 0; i < 5; ++i)
+        fs.submitRead(0, {1, 1024, true});
+    eq.run();
+    double u = fs.avgChannelUtilization(eq.now());
+    EXPECT_GT(u, 0.0);
+    EXPECT_LE(u, 1.0);
+}
+
+// --- placement --------------------------------------------------------------
+
+TEST(WeightPlacement, RcPagesLandOnComputePlane)
+{
+    WeightPlacement wp(testParams().geometry);
+    PageAddress a = wp.allocRcPage(0, 0);
+    EXPECT_EQ(a.plane, 0u);
+    EXPECT_EQ(a.block, 0u);
+    EXPECT_EQ(a.page, 0u);
+    PageAddress b = wp.allocRcPage(0, 0);
+    EXPECT_EQ(b.page, 1u);
+}
+
+TEST(WeightPlacement, ReadPagesAvoidComputePlane)
+{
+    WeightPlacement wp(testParams().geometry);
+    PageAddress a = wp.allocReadPage();
+    EXPECT_EQ(a.plane, 1u); // last plane first
+}
+
+TEST(WeightPlacement, RoundRobinAcrossDies)
+{
+    FlashGeometry g = testParams().geometry;
+    g.channels = 2;
+    g.chips_per_channel = 2;
+    WeightPlacement wp(g);
+    PageAddress a = wp.allocReadPage();
+    PageAddress b = wp.allocReadPage();
+    PageAddress c = wp.allocReadPage();
+    // Different dies for consecutive pages.
+    EXPECT_FALSE(a.channel == b.channel && a.chip == b.chip &&
+                 a.die == b.die);
+    EXPECT_FALSE(b.channel == c.channel && b.chip == c.chip &&
+                 b.die == c.die);
+}
+
+TEST(WeightPlacement, OccupancyTracksAllocations)
+{
+    WeightPlacement wp(testParams().geometry);
+    const std::uint64_t cap = wp.capacityPages();
+    for (std::uint64_t i = 0; i < cap / 2; ++i)
+        wp.allocReadPage();
+    EXPECT_DOUBLE_EQ(wp.occupancy(), 0.5);
+    EXPECT_EQ(wp.freePages(), cap / 2);
+}
+
+TEST(WeightPlacement, FillsEntireDeviceWithoutOverlap)
+{
+    FlashGeometry g = testParams().geometry;
+    WeightPlacement wp(g);
+    PageIndexer ix(g);
+    std::vector<bool> seen(ix.totalPages(), false);
+    for (std::uint64_t i = 0; i < ix.totalPages(); ++i) {
+        PageAddress a = wp.allocReadPage();
+        std::uint64_t lin = ix.toLinear(a);
+        EXPECT_FALSE(seen[lin]);
+        seen[lin] = true;
+    }
+    EXPECT_EQ(wp.freePages(), 0u);
+}
+
+} // namespace
+} // namespace camllm::flash

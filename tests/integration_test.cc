@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's headline claims, the
+ * engine-vs-baseline orderings, and the full ECC-through-inference
+ * accuracy path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/flexgen.h"
+#include "baselines/mlc_llm.h"
+#include "core/energy.h"
+#include "core/engine.h"
+#include "core/presets.h"
+#include "ecc/page_store.h"
+#include "llm/eval.h"
+#include "llm/model_config.h"
+#include "llm/tiny_transformer.h"
+
+namespace camllm {
+namespace {
+
+using core::CamConfig;
+using core::CambriconEngine;
+using core::TokenStats;
+
+TEST(Headline, SeventyBAboveThreeTokensPerSecond)
+{
+    // The paper's headline: 70B LLM at ~3.4 token/s on Cam-LLM-L.
+    CamConfig cfg = core::presetL();
+    CambriconEngine e(cfg, llm::llama2_70b());
+    TokenStats s = e.decodeToken();
+    EXPECT_GT(s.tokens_per_s, 2.0);
+    EXPECT_LT(s.tokens_per_s, 6.0);
+}
+
+TEST(Headline, SevenBNearPaperSpeedOnL)
+{
+    // Paper: 34-36 token/s for 7B-class models on Cam-LLM-L.
+    CamConfig cfg = core::presetL();
+    CambriconEngine e(cfg, llm::llama2_7b());
+    TokenStats s = e.decodeToken();
+    EXPECT_GT(s.tokens_per_s, 25.0);
+    EXPECT_LT(s.tokens_per_s, 55.0);
+}
+
+TEST(Headline, SpeedupOverFlexgenSsdExceeds8x)
+{
+    // Paper: 8.9x (S) to 44.8x (L) over FlexGen-SSD on OPT-6.7B.
+    llm::ModelConfig model = llm::opt6_7b();
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    baselines::FlexGenConfig fg;
+    const double base =
+        baselines::flexgenDecode(model, quant, fg).tokens_per_s;
+
+    const double s =
+        CambriconEngine(core::presetS(), model).decodeToken()
+            .tokens_per_s;
+    const double l =
+        CambriconEngine(core::presetL(), model).decodeToken()
+            .tokens_per_s;
+    EXPECT_GT(s / base, 3.0);
+    EXPECT_GT(l / base, 20.0);
+}
+
+TEST(Headline, CambriconRunsModelsMlcCannot)
+{
+    auto mlc = baselines::mlcLlmDecode(llm::llama2_70b());
+    EXPECT_TRUE(mlc.oom);
+    CambriconEngine e(core::presetS(), llm::llama2_70b());
+    EXPECT_GT(e.decodeToken().tokens_per_s, 0.1);
+}
+
+TEST(Headline, TransferReductionVsFlexgenSsd)
+{
+    // Fig 16a: ~10x less data movement than FlexGen-SSD.
+    llm::ModelConfig model = llm::opt6_7b();
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    baselines::FlexGenConfig fg;
+    auto base = baselines::flexgenDecode(model, quant, fg);
+
+    TokenStats cam =
+        CambriconEngine(core::presetS(), model).decodeToken();
+    const double ratio =
+        double(base.transfer_bytes) / double(cam.transferBytes());
+    EXPECT_GT(ratio, 5.0);
+    EXPECT_LT(ratio, 20.0);
+}
+
+TEST(Headline, EnergyBelowFlexgenSsd)
+{
+    // Fig 16b: Cambricon-LLM spends ~2/3 the energy per token.
+    llm::ModelConfig model = llm::opt6_7b();
+    auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    baselines::FlexGenConfig fg;
+    auto base = baselines::flexgenDecode(model, quant, fg);
+    TokenStats cam =
+        CambriconEngine(core::presetS(), model).decodeToken();
+    const double cam_j = core::computeEnergy(cam).totalJ();
+    EXPECT_LT(cam_j, base.energy_j);
+    EXPECT_GT(cam_j, base.energy_j * 0.35);
+}
+
+TEST(Scalability, SpeedGrowsWithChannels)
+{
+    // Fig 15b: near-linear scaling with channel count.
+    llm::ModelConfig model = llm::opt6_7b();
+    double prev = 0.0;
+    for (std::uint32_t ch : {1u, 4u, 16u}) {
+        CamConfig cfg = core::presetCustom(ch, 4);
+        double v = CambriconEngine(cfg, model).decodeToken().tokens_per_s;
+        EXPECT_GT(v, prev);
+        prev = v;
+    }
+}
+
+TEST(Scalability, ChipScalingSaturates)
+{
+    // Fig 15a: speed grows with chips per channel then flattens once
+    // tiles can no longer engage every core.
+    llm::ModelConfig model = llm::opt6_7b();
+    auto speed = [&](std::uint32_t chips) {
+        CamConfig cfg = core::presetCustom(8, chips);
+        return CambriconEngine(cfg, model).decodeToken().tokens_per_s;
+    };
+    const double s2 = speed(2), s8 = speed(8), s32 = speed(32),
+                 s64 = speed(64);
+    EXPECT_GT(s8, s2 * 1.5);
+    // Early scaling is strong; late scaling collapses.
+    EXPECT_LT(s64 / s32, (s8 / s2));
+}
+
+// --- the full bit-exact ECC accuracy path -----------------------------------
+
+class EccAccuracy : public ::testing::Test
+{
+  protected:
+    static constexpr std::uint64_t kSeed = 424242;
+
+    double
+    accuracyAt(double ber, bool ecc_on)
+    {
+        llm::TinyConfig tcfg;
+        llm::TinyTransformer clean(tcfg, kSeed);
+        llm::EvalDataset ds =
+            llm::makeDataset(clean, "hellaswag-proxy", 60, 4, 6, 0.95,
+                             kSeed + 1);
+
+        ecc::PageStoreParams params;
+        params.ecc_enabled = ecc_on;
+        ecc::PageStore store(params);
+        store.load(clean.packWeights());
+        store.injectErrors(ber, kSeed + 2);
+
+        llm::TinyTransformer corrupted(tcfg, kSeed);
+        corrupted.unpackWeights(store.readBack());
+        return llm::evaluate(corrupted, ds);
+    }
+};
+
+TEST_F(EccAccuracy, CleanStorePreservesAccuracy)
+{
+    EXPECT_NEAR(accuracyAt(0.0, true), 0.95, 0.06);
+}
+
+TEST_F(EccAccuracy, WithoutEccHighBerDestroysAccuracy)
+{
+    // Fig 3b: at BER 1e-2 the model output is chance-level.
+    const double acc = accuracyAt(1e-2, false);
+    EXPECT_LT(acc, 0.55);
+}
+
+TEST_F(EccAccuracy, EccExtendsUsableBerRange)
+{
+    // Fig 10: at 2e-4 the protected model keeps most accuracy and
+    // must beat the unprotected one at high error rates.
+    const double with_ecc = accuracyAt(2e-3, true);
+    const double without = accuracyAt(2e-3, false);
+    EXPECT_GE(with_ecc, without);
+}
+
+} // namespace
+} // namespace camllm

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the discrete-event kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace camllm {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtZero)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_FALSE(eq.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SameTickFifoOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NestedScheduling)
+{
+    EventQueue eq;
+    std::vector<Tick> times;
+    eq.schedule(10, [&] {
+        times.push_back(eq.now());
+        eq.scheduleIn(5, [&] { times.push_back(eq.now()); });
+    });
+    eq.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 10u);
+    EXPECT_EQ(times[1], 15u);
+}
+
+TEST(EventQueue, ScheduleAtCurrentTickRuns)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(7, [&] {
+        eq.schedule(7, [&] { ++hits; }); // zero-delay follow-up
+    });
+    eq.run();
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.now(), 7u);
+}
+
+TEST(EventQueue, RunUntilAdvancesClock)
+{
+    EventQueue eq;
+    int hits = 0;
+    eq.schedule(10, [&] { ++hits; });
+    eq.schedule(100, [&] { ++hits; });
+    eq.runUntil(50);
+    EXPECT_EQ(hits, 1);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.run();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(EventQueue, CountsExecuted)
+{
+    EventQueue eq;
+    for (int i = 0; i < 25; ++i)
+        eq.schedule(Tick(i), [] {});
+    eq.run();
+    EXPECT_EQ(eq.executed(), 25u);
+}
+
+TEST(EventQueue, ResetClearsEverything)
+{
+    EventQueue eq;
+    eq.schedule(10, [] {});
+    eq.schedule(20, [] {});
+    eq.step();
+    eq.reset();
+    EXPECT_EQ(eq.now(), 0u);
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.executed(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue eq;
+    Tick last = 0;
+    bool monotone = true;
+    for (int i = 0; i < 5000; ++i)
+        eq.schedule(Tick((i * 7919) % 1000), [&] {
+            monotone = monotone && eq.now() >= last;
+            last = eq.now();
+        });
+    eq.run();
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(eq.executed(), 5000u);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.step();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "scheduled in the past");
+}
+
+} // namespace
+} // namespace camllm

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Unit + property tests for the hardware-aware tiling planner
+ * (paper Section V).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/presets.h"
+#include "core/tiling.h"
+
+namespace camllm::core {
+namespace {
+
+llm::QuantSpec
+w8()
+{
+    return llm::QuantSpec::of(llm::QuantMode::W8A8);
+}
+
+TEST(Tiling, PaperOptimalShapeForS)
+{
+    // Cam-LLM-S: 8 channels x 4 cores, 16 KB pages -> 256 x 2048,
+    // exactly the shape the paper's Fig 13 calls optimal.
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(16384, 16384);
+    EXPECT_EQ(p.tile.h, 256u);
+    EXPECT_EQ(p.tile.w, 2048u);
+    EXPECT_EQ(p.hpc, 64u);
+    EXPECT_EQ(p.wc, 256u);
+    EXPECT_DOUBLE_EQ(p.page_utilization, 1.0);
+}
+
+TEST(Tiling, PaperOptimalShapeForL)
+{
+    // Cam-LLM-L: 32 channels x 16 cores -> 512 x 16384 unclamped.
+    CamConfig cfg = presetL();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(32768, 32768);
+    EXPECT_EQ(p.tile.h, 512u);
+    EXPECT_EQ(p.tile.w, 16384u);
+}
+
+TEST(Tiling, ClampsToNarrowMatrices)
+{
+    // OPT-6.7B (d=4096) on L: ideal Wreq = 16384 > 4096 must clamp.
+    CamConfig cfg = presetL();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(4096, 4096);
+    EXPECT_EQ(p.wc, 128u); // 4096 / 32 channels
+    EXPECT_EQ(p.hpc, 128u);
+    EXPECT_DOUBLE_EQ(p.page_utilization, 1.0);
+}
+
+TEST(Tiling, OddWidthsLosePageUtilization)
+{
+    // OPT-13B (d=5120) on L: wc=160 -> hpc=102, ~99.6% page use.
+    CamConfig cfg = presetL();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(5120, 5120);
+    EXPECT_EQ(p.wc, 160u);
+    EXPECT_EQ(p.hpc, 102u);
+    EXPECT_LT(p.page_utilization, 1.0);
+    EXPECT_GT(p.page_utilization, 0.95);
+}
+
+TEST(Tiling, AmGmOptimalityProperty)
+{
+    // The planner's shape must minimize per-tile traffic among all
+    // page-filling shapes (AM-GM argument of Section V-A).
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    const std::uint64_t big = 1 << 20;
+    TilePlan best = planner.plan(big, big);
+    const std::uint32_t ch = cfg.flash.geometry.channels;
+    const double best_trans = best.transBytesPerTile(ch) /
+                              (double(best.wc) * best.hpc);
+
+    for (std::uint32_t wc = 16; wc <= 16384; wc *= 2) {
+        const std::uint32_t hpc = 16384 / wc;
+        TilingOptions forced = cfg.tilingOptions();
+        forced.forced_tile =
+            TileShape{hpc * cfg.flash.geometry.coresPerChannel(),
+                      wc * ch};
+        TilingPlanner alt(cfg.flash, w8(), forced);
+        TilePlan p = alt.plan(big, big);
+        const double trans = p.transBytesPerTile(ch) /
+                             (double(p.wc) * p.hpc);
+        EXPECT_GE(trans, best_trans * 0.999)
+            << "wc=" << wc << " beats the planner";
+    }
+}
+
+TEST(Tiling, AlphaWithinUnitInterval)
+{
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(4096, 4096);
+    EXPECT_GT(p.alpha, 0.0);
+    EXPECT_LT(p.alpha, 1.0);
+}
+
+TEST(Tiling, AlphaMatchesPaperBallparkForS)
+{
+    // Earlier analysis: Cam-LLM-S splits ~65-75% of weights to flash.
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(4096, 4096);
+    EXPECT_GT(p.alpha, 0.60);
+    EXPECT_LT(p.alpha, 0.80);
+}
+
+TEST(Tiling, RowSplitConserved)
+{
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    for (std::uint64_t rows : {4096ull, 5120ull, 11008ull, 50272ull}) {
+        TilePlan p = planner.plan(rows, 4096);
+        EXPECT_EQ(p.flash_rows + p.npu_rows, rows);
+        EXPECT_EQ(p.flash_rows % p.hpc, 0u);
+    }
+}
+
+TEST(Tiling, NoTilingModeSendsAllRowsToFlash)
+{
+    CamConfig cfg = presetS();
+    cfg.hybrid_tiling = false;
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(4100, 4096); // ragged rows
+    EXPECT_DOUBLE_EQ(p.alpha, 1.0);
+    EXPECT_EQ(p.flash_rows, 4100u);
+    EXPECT_EQ(p.npu_rows, 0u);
+}
+
+TEST(Tiling, RateRcIsSmall)
+{
+    // The paper reports <= 6% channel duty with rc requests alone.
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(4096, 4096);
+    EXPECT_LT(p.rate_rc, 0.10);
+    EXPECT_GT(p.rate_rc, 0.005);
+}
+
+TEST(Tiling, W4DoublesElementsPerPage)
+{
+    CamConfig cfg = presetS();
+    TilingPlanner p8(cfg.flash, w8(), cfg.tilingOptions());
+    TilingPlanner p4(cfg.flash, llm::QuantSpec::of(llm::QuantMode::W4A16),
+                     cfg.tilingOptions());
+    EXPECT_EQ(p4.elemsPerPage(), 2 * p8.elemsPerPage());
+}
+
+TEST(Tiling, ForcedPaperShapes)
+{
+    // The three shapes of Fig 13 on Cam-LLM-S all fill a page.
+    CamConfig cfg = presetS();
+    for (auto [h, w] : {std::pair{256u, 2048u}, {128u, 4096u},
+                        {4096u, 128u}}) {
+        TilingOptions o = cfg.tilingOptions();
+        o.forced_tile = TileShape{h, w};
+        TilingPlanner planner(cfg.flash, w8(), o);
+        TilePlan p = planner.plan(16384, 16384);
+        EXPECT_EQ(std::uint64_t(p.wc) * p.hpc, 16384u)
+            << h << "x" << w;
+    }
+}
+
+TEST(Tiling, ColTileCountCoversMatrix)
+{
+    CamConfig cfg = presetM();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(8192, 11008);
+    EXPECT_GE(std::uint64_t(p.n_col_tiles) * p.tile.w, 11008u);
+    EXPECT_LT(std::uint64_t(p.n_col_tiles - 1) * p.tile.w, 11008u);
+}
+
+TEST(Tiling, MoreCoresShrinkAlphaTowardFlash)
+{
+    // Adding chips multiplies on-die compute, so the flash share must
+    // grow (this is the Fig 15 saturation mechanism).
+    auto alpha_for = [&](std::uint32_t chips) {
+        CamConfig cfg = presetCustom(8, chips);
+        TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+        return planner.plan(1 << 16, 1 << 16).alpha;
+    };
+    EXPECT_LT(alpha_for(1), alpha_for(4));
+    EXPECT_LT(alpha_for(4), alpha_for(16));
+}
+
+TEST(Tiling, TinyMatrixStillPlans)
+{
+    CamConfig cfg = presetS();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    TilePlan p = planner.plan(64, 64);
+    EXPECT_GE(p.wc, 1u);
+    EXPECT_GE(p.hpc, 1u);
+    EXPECT_EQ(p.flash_rows + p.npu_rows, 64u);
+}
+
+} // namespace
+} // namespace camllm::core

@@ -16,11 +16,14 @@ using namespace camllm;
 
 namespace {
 
-double
-speed(core::CamConfig cfg, const llm::ModelConfig &m)
+/** One ablation table: a knob name plus its five config points. */
+struct Block
 {
-    return bench::run(cfg, m).tokens_per_s;
-}
+    const char *title;
+    const char *knob_col;
+    std::vector<std::uint64_t> labels;
+    std::vector<core::CamConfig> cfgs;
+};
 
 } // namespace
 
@@ -29,66 +32,82 @@ main()
 {
     bench::banner("design-choice sensitivity (Cam-LLM-S, OPT-6.7B)");
     const llm::ModelConfig m = llm::opt6_7b();
-    const double base = speed(core::presetS(), m);
-    std::cout << "baseline: " << Table::fmt(base, 2) << " token/s\n\n";
 
+    std::vector<Block> blocks;
     {
-        Table t("page read time tR (paper uses 30 us; cites a 20 us "
-                "part)");
-        t.header({"tR (us)", "token/s", "vs baseline"});
+        Block b{"page read time tR (paper uses 30 us; cites a 20 us "
+                "part)",
+                "tR (us)", {}, {}};
         for (Tick tr : {20u, 25u, 30u, 40u, 60u}) {
             core::CamConfig cfg = core::presetS();
             cfg.flash.timing.t_read = tr * kUs;
-            double v = speed(cfg, m);
-            t.row({Table::fmtInt(tr), Table::fmt(v, 2),
-                   Table::fmtPercent(v / base - 1.0)});
+            b.labels.push_back(tr);
+            b.cfgs.push_back(cfg);
         }
-        t.print(std::cout);
+        blocks.push_back(std::move(b));
     }
     {
-        Table t("slice granularity (Slice Control)");
-        t.header({"slice (bytes)", "token/s", "vs baseline"});
+        Block b{"slice granularity (Slice Control)", "slice (bytes)",
+                {}, {}};
         for (std::uint32_t s : {512u, 1024u, 2048u, 4096u, 8192u}) {
             core::CamConfig cfg = core::presetS();
             cfg.flash.timing.slice_bytes = s;
-            double v = speed(cfg, m);
-            t.row({Table::fmtInt(s), Table::fmt(v, 2),
-                   Table::fmtPercent(v / base - 1.0)});
+            b.labels.push_back(s);
+            b.cfgs.push_back(cfg);
         }
-        t.print(std::cout);
+        blocks.push_back(std::move(b));
     }
     {
-        Table t("read-compute tile window (input-buffer credit)");
-        t.header({"window", "token/s", "vs baseline"});
+        Block b{"read-compute tile window (input-buffer credit)",
+                "window", {}, {}};
         for (std::uint32_t w : {1u, 2u, 3u, 4u, 8u}) {
             core::CamConfig cfg = core::presetS();
             cfg.tile_window = w;
-            double v = speed(cfg, m);
-            t.row({Table::fmtInt(w), Table::fmt(v, 2),
-                   Table::fmtPercent(v / base - 1.0)});
+            b.labels.push_back(w);
+            b.cfgs.push_back(cfg);
         }
-        t.print(std::cout);
+        blocks.push_back(std::move(b));
     }
     {
-        Table t("NPU weight buffer (prefetch depth)");
-        t.header({"buffer (MB)", "token/s", "vs baseline"});
+        Block b{"NPU weight buffer (prefetch depth)", "buffer (MB)",
+                {}, {}};
         for (std::uint32_t mb : {1u, 2u, 4u, 8u, 16u}) {
             core::CamConfig cfg = core::presetS();
             cfg.npu.weight_buffer_bytes = std::uint64_t(mb) << 20;
-            double v = speed(cfg, m);
-            t.row({Table::fmtInt(mb), Table::fmt(v, 2),
-                   Table::fmtPercent(v / base - 1.0)});
+            b.labels.push_back(mb);
+            b.cfgs.push_back(cfg);
         }
-        t.print(std::cout);
+        blocks.push_back(std::move(b));
     }
     {
-        Table t("per-grant command overhead");
-        t.header({"overhead (ns)", "token/s", "vs baseline"});
+        Block b{"per-grant command overhead", "overhead (ns)", {}, {}};
         for (Tick ov : {0u, 50u, 100u, 200u, 500u}) {
             core::CamConfig cfg = core::presetS();
             cfg.flash.timing.grant_overhead = ov;
-            double v = speed(cfg, m);
-            t.row({Table::fmtInt(ov), Table::fmt(v, 2),
+            b.labels.push_back(ov);
+            b.cfgs.push_back(cfg);
+        }
+        blocks.push_back(std::move(b));
+    }
+
+    // Baseline plus every knob point in one parallel pass.
+    std::vector<bench::SweepJob> jobs;
+    jobs.emplace_back(core::presetS(), m);
+    for (const Block &b : blocks)
+        for (const core::CamConfig &cfg : b.cfgs)
+            jobs.emplace_back(cfg, m);
+    const auto stats = bench::runSweep(jobs);
+
+    const double base = stats[0].tokens_per_s;
+    std::cout << "baseline: " << Table::fmt(base, 2) << " token/s\n\n";
+
+    std::size_t j = 1;
+    for (const Block &b : blocks) {
+        Table t(b.title);
+        t.header({b.knob_col, "token/s", "vs baseline"});
+        for (std::size_t i = 0; i < b.cfgs.size(); ++i) {
+            const double v = stats[j++].tokens_per_s;
+            t.row({Table::fmtInt(b.labels[i]), Table::fmt(v, 2),
                    Table::fmtPercent(v / base - 1.0)});
         }
         t.print(std::cout);

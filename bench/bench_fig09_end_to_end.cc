@@ -6,11 +6,13 @@
  * Table II / Table III configuration summaries.
  */
 
+#include <chrono>
 #include <iostream>
 
 #include "baselines/flexgen.h"
 #include "baselines/mlc_llm.h"
 #include "bench_util.h"
+#include "json_out.h"
 
 using namespace camllm;
 
@@ -48,19 +50,60 @@ printConfigs()
 int
 main()
 {
+    const auto wall0 = std::chrono::steady_clock::now();
     bench::banner("Fig 9 end-to-end decode speed (token/s)");
     printConfigs();
 
     const auto quant = llm::QuantSpec::of(llm::QuantMode::W8A8);
+    bench::BenchJson json;
+    json.addString("bench", "bench_fig09_end_to_end");
+
+    // Every (preset, model) co-simulation of both subfigures in one
+    // parallel pass; rows are rebuilt from the order-preserving
+    // results below.
+    const auto opt_models = llm::optFamily();
+    const auto llama_models = llm::llamaFamily();
+    const std::string preset_l_name = core::presetL().name;
+    std::vector<bench::SweepJob> jobs;
+    // Indices of the Cam-LLM-L points the headline table reuses,
+    // recorded while building the job list so preset/model reorders
+    // cannot silently skew the reported speedups.
+    std::size_t idx_l_opt67 = 0, idx_l_opt66 = 0, idx_l_llama70 = 0;
+    const auto note = [&](const core::CamConfig &cfg,
+                          const llm::ModelConfig &m) {
+        if (cfg.name != preset_l_name)
+            return;
+        if (m.name == "OPT-6.7B")
+            idx_l_opt67 = jobs.size() - 1;
+        else if (m.name == "OPT-66B")
+            idx_l_opt66 = jobs.size() - 1;
+        else if (m.name == "Llama2-70B")
+            idx_l_llama70 = jobs.size() - 1;
+    };
+    for (const auto &cfg : bench::presets())
+        for (const auto &m : opt_models) {
+            jobs.emplace_back(cfg, m);
+            note(cfg, m);
+        }
+    for (const auto &cfg : bench::presets())
+        for (const auto &m : llama_models) {
+            jobs.emplace_back(cfg, m);
+            note(cfg, m);
+        }
+    const auto stats = bench::runSweep(jobs);
+    for (std::size_t i = 0; i < jobs.size(); ++i)
+        json.add(jobs[i].first.name + "." + jobs[i].second.name +
+                     ".tokens_per_s",
+                 stats[i].tokens_per_s);
 
     // --- Fig 9(a): OPT family vs FlexGen --------------------------------
     Table a("Fig 9(a): decode speed on OPT (token/s)");
     a.header({"system", "OPT-6.7B", "OPT-13B", "OPT-30B", "OPT-66B"});
+    std::size_t j = 0;
     for (const auto &cfg : bench::presets()) {
         std::vector<std::string> row = {cfg.name};
-        for (const auto &m : llm::optFamily())
-            row.push_back(
-                Table::fmt(bench::run(cfg, m).tokens_per_s, 2));
+        for (std::size_t mi = 0; mi < opt_models.size(); ++mi)
+            row.push_back(Table::fmt(stats[j++].tokens_per_s, 2));
         a.row(row);
     }
     for (auto placement : {baselines::FlexGenPlacement::Ssd,
@@ -83,9 +126,8 @@ main()
     b.header({"system", "Llama2-7B", "Llama2-13B", "Llama2-70B"});
     for (const auto &cfg : bench::presets()) {
         std::vector<std::string> row = {cfg.name};
-        for (const auto &m : llm::llamaFamily())
-            row.push_back(
-                Table::fmt(bench::run(cfg, m).tokens_per_s, 2));
+        for (std::size_t mi = 0; mi < llama_models.size(); ++mi)
+            row.push_back(Table::fmt(stats[j++].tokens_per_s, 2));
         b.row(row);
     }
     {
@@ -105,12 +147,9 @@ main()
             .tokens_per_s;
     const double fg66 =
         baselines::flexgenDecode(llm::opt66b(), quant, ssd).tokens_per_s;
-    const double l67 =
-        bench::run(core::presetL(), llm::opt6_7b()).tokens_per_s;
-    const double l66 =
-        bench::run(core::presetL(), llm::opt66b()).tokens_per_s;
-    const double l70 =
-        bench::run(core::presetL(), llm::llama2_70b()).tokens_per_s;
+    const double l67 = stats[idx_l_opt67].tokens_per_s;
+    const double l66 = stats[idx_l_opt66].tokens_per_s;
+    const double l70 = stats[idx_l_llama70].tokens_per_s;
 
     Table h("Headline speedups vs FlexGen-SSD");
     h.header({"comparison", "measured", "paper"});
@@ -121,5 +160,20 @@ main()
     h.row({"Cam-LLM-L on Llama2-70B (token/s)", Table::fmt(l70, 2),
            "3.44"});
     h.print(std::cout);
+
+    json.add("headline.camllm_l_over_flexgen_ssd_opt6_7b", l67 / fg67);
+    json.add("headline.camllm_l_over_flexgen_ssd_opt66b", l66 / fg66);
+    json.add("headline.camllm_l_llama2_70b_tokens_per_s", l70);
+    json.add("sweep_threads",
+             std::uint64_t(core::ParallelSweep::hardwareThreads()));
+    json.add("wall_clock_s",
+             std::chrono::duration<double>(
+                 std::chrono::steady_clock::now() - wall0)
+                 .count());
+    const char *path = "BENCH_fig09.json";
+    if (json.writeTo(path))
+        std::cout << "\nwrote " << path << "\n";
+    else
+        std::cerr << "failed to write " << path << "\n";
     return 0;
 }

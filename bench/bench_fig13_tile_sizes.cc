@@ -36,14 +36,24 @@ main()
         head.push_back(m.name);
     t.header(head);
 
-    std::vector<std::vector<double>> speeds;
-    for (const auto &s : shapes) {
-        std::vector<std::string> row = {s.label};
-        std::vector<double> vals;
+    // All shape x model points are independent: sweep them in parallel
+    // and rebuild the rows from the order-preserving result vector.
+    std::vector<bench::SweepJob> jobs;
+    for (const auto &s : shapes)
         for (const auto &m : models) {
             core::CamConfig cfg = core::presetS();
             cfg.forced_tile = s.forced;
-            const double v = bench::run(cfg, m).tokens_per_s;
+            jobs.emplace_back(cfg, m);
+        }
+    const auto stats = bench::runSweep(jobs);
+
+    std::vector<std::vector<double>> speeds;
+    std::size_t j = 0;
+    for (const auto &s : shapes) {
+        std::vector<std::string> row = {s.label};
+        std::vector<double> vals;
+        for (std::size_t i = 0; i < models.size(); ++i) {
+            const double v = stats[j++].tokens_per_s;
             vals.push_back(v);
             row.push_back(Table::fmt(v, 2));
         }

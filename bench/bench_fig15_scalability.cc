@@ -5,6 +5,7 @@
  * chips per channel, on OPT-6.7B/13B/30B.
  */
 
+#include <functional>
 #include <iostream>
 
 #include "bench_util.h"
@@ -13,24 +14,37 @@ using namespace camllm;
 
 namespace {
 
+/**
+ * Shared shape of Fig 15(a/c) and (b/d): a model x geometry grid,
+ * swept in parallel (every point is an independent co-simulation) and
+ * printed in the same row/column order as the sequential loops.
+ */
 void
-sweepChips()
+sweepGrid(const char *speed_title, const char *util_title,
+          const std::vector<std::uint32_t> &points,
+          const std::function<core::CamConfig(std::uint32_t)> &make_cfg)
 {
-    const std::uint32_t chips[] = {1, 2, 4, 8, 16, 32, 64, 128};
     std::vector<llm::ModelConfig> models = {llm::opt6_7b(), llm::opt13b(),
                                             llm::opt30b()};
-    Table t("Fig 15(a): decode speed vs chips per channel "
-            "(8 channels)");
-    Table u("Fig 15(c): channel usage vs chips per channel");
+    Table t(speed_title);
+    Table u(util_title);
     std::vector<std::string> head = {"model"};
-    for (auto c : chips)
+    for (auto c : points)
         head.push_back(Table::fmtInt(c));
     t.header(head);
     u.header(head);
+
+    std::vector<bench::SweepJob> jobs;
+    for (const auto &m : models)
+        for (auto c : points)
+            jobs.emplace_back(make_cfg(c), m);
+    const auto stats = bench::runSweep(jobs);
+
+    std::size_t j = 0;
     for (const auto &m : models) {
         std::vector<std::string> row = {m.name}, urow = {m.name};
-        for (auto c : chips) {
-            auto s = bench::run(core::presetCustom(8, c), m);
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const auto &s = stats[j++];
             row.push_back(Table::fmt(s.tokens_per_s, 2));
             urow.push_back(Table::fmtPercent(s.avg_channel_util, 0));
         }
@@ -42,30 +56,22 @@ sweepChips()
 }
 
 void
+sweepChips()
+{
+    sweepGrid("Fig 15(a): decode speed vs chips per channel "
+              "(8 channels)",
+              "Fig 15(c): channel usage vs chips per channel",
+              {1, 2, 4, 8, 16, 32, 64, 128},
+              [](std::uint32_t c) { return core::presetCustom(8, c); });
+}
+
+void
 sweepChannels()
 {
-    const std::uint32_t channels[] = {1, 2, 4, 8, 16, 32, 64};
-    std::vector<llm::ModelConfig> models = {llm::opt6_7b(), llm::opt13b(),
-                                            llm::opt30b()};
-    Table t("Fig 15(b): decode speed vs channel count (4 chips/ch)");
-    Table u("Fig 15(d): channel usage vs channel count");
-    std::vector<std::string> head = {"model"};
-    for (auto c : channels)
-        head.push_back(Table::fmtInt(c));
-    t.header(head);
-    u.header(head);
-    for (const auto &m : models) {
-        std::vector<std::string> row = {m.name}, urow = {m.name};
-        for (auto c : channels) {
-            auto s = bench::run(core::presetCustom(c, 4), m);
-            row.push_back(Table::fmt(s.tokens_per_s, 2));
-            urow.push_back(Table::fmtPercent(s.avg_channel_util, 0));
-        }
-        t.row(row);
-        u.row(urow);
-    }
-    t.print(std::cout);
-    u.print(std::cout);
+    sweepGrid("Fig 15(b): decode speed vs channel count (4 chips/ch)",
+              "Fig 15(d): channel usage vs channel count",
+              {1, 2, 4, 8, 16, 32, 64},
+              [](std::uint32_t c) { return core::presetCustom(c, 4); });
 }
 
 } // namespace

@@ -7,7 +7,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
 #include "common/rng.h"
+#include "core/engine.h"
+#include "core/sweep.h"
+#include "json_out.h"
 #include "core/presets.h"
 #include "core/tiling.h"
 #include "ecc/bitflip.h"
@@ -83,22 +90,45 @@ BM_TilingPlanner(benchmark::State &state)
 }
 BENCHMARK(BM_TilingPlanner);
 
+/** Shared d x d GeMV inputs so blocked vs scalar compare like-for-like. */
+struct GemvFixture
+{
+    llm::QTensor w;
+    std::vector<float> x, y;
+
+    explicit GemvFixture(std::uint32_t d) : w(d, d, 0.01f), x(d, 0.5f), y(d)
+    {
+        Rng rng(1);
+        for (auto &v : w.data)
+            v = std::int8_t(rng.below(255));
+    }
+};
+
 void
 BM_GemvInt8(benchmark::State &state)
 {
     const std::uint32_t d = std::uint32_t(state.range(0));
-    llm::QTensor w(d, d, 0.01f);
-    Rng rng(1);
-    for (auto &v : w.data)
-        v = std::int8_t(rng.below(255)) ;
-    std::vector<float> x(d, 0.5f), y(d);
+    GemvFixture f(d);
     for (auto _ : state) {
-        llm::gemv(w, x, y);
-        benchmark::DoNotOptimize(y.data());
+        llm::gemv(f.w, f.x, f.y);
+        benchmark::DoNotOptimize(f.y.data());
     }
     state.SetItemsProcessed(state.iterations() * std::uint64_t(d) * d);
 }
 BENCHMARK(BM_GemvInt8)->Arg(128)->Arg(512);
+
+void
+BM_GemvInt8Scalar(benchmark::State &state)
+{
+    const std::uint32_t d = std::uint32_t(state.range(0));
+    GemvFixture f(d);
+    for (auto _ : state) {
+        llm::gemvScalar(f.w, f.x, f.y);
+        benchmark::DoNotOptimize(f.y.data());
+    }
+    state.SetItemsProcessed(state.iterations() * std::uint64_t(d) * d);
+}
+BENCHMARK(BM_GemvInt8Scalar)->Arg(128)->Arg(512);
 
 void
 BM_EccEncodePage(benchmark::State &state)
@@ -160,6 +190,123 @@ BM_TinyTransformerForward(benchmark::State &state)
 }
 BENCHMARK(BM_TinyTransformerForward);
 
+/** Best-of-@p reps wall time of one call to @p fn, in seconds. */
+template <typename Fn>
+double
+bestSeconds(int reps, Fn &&fn)
+{
+    double best = 1e100;
+    for (int i = 0; i < reps; ++i) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(best,
+                        std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+/**
+ * Hand-timed hot-path summaries for BENCH_micro.json: the same three
+ * paths this PR family optimizes (event kernel, GeMV, one engine
+ * decode), so the perf trajectory is diffable across commits.
+ */
+void
+emitJson(double bench_wall_s)
+{
+    bench::BenchJson j;
+    j.addString("bench", "bench_micro_kernels");
+    j.add("wall_clock_s", bench_wall_s);
+
+    {
+        constexpr int kEvents = 100000;
+        const double s = bestSeconds(5, [&] {
+            EventQueue eq;
+            eq.reserve(kEvents);
+            int sink = 0;
+            for (int i = 0; i < kEvents; ++i)
+                eq.schedule(Tick(i % 997), [&sink] { ++sink; });
+            eq.run();
+            benchmark::DoNotOptimize(sink);
+        });
+        j.add("event_queue.events", std::uint64_t(kEvents));
+        j.add("event_queue.events_per_s", double(kEvents) / s);
+    }
+    {
+        constexpr std::uint32_t d = 512;
+        GemvFixture f(d);
+        const double blocked = bestSeconds(20, [&] {
+            llm::gemv(f.w, f.x, f.y);
+            benchmark::DoNotOptimize(f.y.data());
+        });
+        const double scalar = bestSeconds(20, [&] {
+            llm::gemvScalar(f.w, f.x, f.y);
+            benchmark::DoNotOptimize(f.y.data());
+        });
+        const double elems = double(d) * d;
+        j.add("gemv512.blocked_elems_per_s", elems / blocked);
+        j.add("gemv512.scalar_elems_per_s", elems / scalar);
+        j.add("gemv512.speedup_vs_scalar", scalar / blocked);
+    }
+    {
+        const auto stats =
+            core::CambriconEngine(core::presetS(), llm::opt6_7b())
+                .decodeToken();
+        j.add("decode.preset_s_opt6_7b_tokens_per_s",
+              stats.tokens_per_s);
+        j.add("decode.simulated_events_token_time_ticks",
+              std::uint64_t(stats.token_time));
+    }
+    {
+        // Fig 13-shaped sweep (one preset, every model): sequential
+        // vs ParallelSweep, so multi-core machines record the pool's
+        // wall-clock win and single-core ones record ~1x honestly.
+        auto models = llm::optFamily();
+        for (const auto &m : llm::llamaFamily())
+            models.push_back(m);
+        const auto decodeAll = [&](unsigned threads) {
+            core::ParallelSweep sweep(threads);
+            const auto out = sweep.map<double>(
+                models.size(), [&](std::size_t i) {
+                    return core::CambriconEngine(core::presetS(),
+                                                 models[i])
+                        .decodeToken()
+                        .tokens_per_s;
+                });
+            benchmark::DoNotOptimize(out.data());
+        };
+        const unsigned hw = core::ParallelSweep::hardwareThreads();
+        const double seq_s = bestSeconds(1, [&] { decodeAll(1); });
+        const double par_s = bestSeconds(1, [&] { decodeAll(hw); });
+        j.add("sweep.jobs", std::uint64_t(models.size()));
+        j.add("sweep.threads", std::uint64_t(hw));
+        j.add("sweep.sequential_s", seq_s);
+        j.add("sweep.parallel_s", par_s);
+        j.add("sweep.speedup", seq_s / par_s);
+    }
+
+    const char *path = "BENCH_micro.json";
+    if (j.writeTo(path))
+        std::printf("wrote %s\n", path);
+    else
+        std::fprintf(stderr, "failed to write %s\n", path);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    const auto wall0 = std::chrono::steady_clock::now();
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wall0)
+            .count();
+    emitJson(wall_s);
+    return 0;
+}

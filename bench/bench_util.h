@@ -8,11 +8,13 @@
 
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/table.h"
 #include "core/engine.h"
 #include "core/presets.h"
+#include "core/sweep.h"
 #include "llm/model_config.h"
 
 namespace camllm::bench {
@@ -29,6 +31,23 @@ inline core::TokenStats
 run(const core::CamConfig &cfg, const llm::ModelConfig &model)
 {
     return core::CambriconEngine(cfg, model).decodeToken();
+}
+
+/** A single sweep point: decode one token of model under cfg. */
+using SweepJob = std::pair<core::CamConfig, llm::ModelConfig>;
+
+/**
+ * Decode one token per job on the ParallelSweep pool. Results come
+ * back in job order, so tables built from them are identical to a
+ * sequential sweep.
+ */
+inline std::vector<core::TokenStats>
+runSweep(const std::vector<SweepJob> &jobs)
+{
+    core::ParallelSweep sweep;
+    return sweep.map<core::TokenStats>(jobs.size(), [&](std::size_t i) {
+        return run(jobs[i].first, jobs[i].second);
+    });
 }
 
 /** Print a standard header naming the figure being reproduced. */

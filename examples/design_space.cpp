@@ -14,6 +14,7 @@
 #include "core/cost_model.h"
 #include "core/engine.h"
 #include "core/presets.h"
+#include "core/sweep.h"
 #include "llm/model_config.h"
 
 using namespace camllm;
@@ -43,25 +44,37 @@ main()
     };
     std::vector<Candidate> winners;
 
-    for (std::uint32_t ch : {8u, 16u, 32u, 64u}) {
-        for (std::uint32_t chips : {2u, 4u, 8u}) {
-            core::CamConfig cfg = core::presetCustom(ch, chips);
-            core::CambriconEngine engine(cfg, model);
-            core::TokenStats s = engine.decodeToken();
+    // Enumerate the grid, co-simulate every candidate on the sweep
+    // pool, then rank; result order matches the enumeration.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> grid;
+    for (std::uint32_t ch : {8u, 16u, 32u, 64u})
+        for (std::uint32_t chips : {2u, 4u, 8u})
+            grid.emplace_back(ch, chips);
 
-            // Memory BOM: weights in flash + KV-cache DRAM.
-            core::Bom bom = core::camllmBom(weight_gb, 2.0);
-            const bool ok = s.tokens_per_s >= target_tok_s;
-            if (ok)
-                winners.push_back(
-                    {ch, chips, s.tokens_per_s, bom.totalUsd()});
-            t.row({Table::fmtInt(ch), Table::fmtInt(chips),
-                   Table::fmtInt(std::uint64_t(ch) *
-                                 cfg.flash.geometry.coresPerChannel()),
-                   Table::fmt(s.tokens_per_s, 2),
-                   Table::fmtPercent(s.avg_channel_util, 0),
-                   Table::fmt(bom.totalUsd(), 2), ok ? "yes" : "no"});
-        }
+    core::ParallelSweep sweep;
+    const auto stats = sweep.map<core::TokenStats>(
+        grid.size(), [&](std::size_t i) {
+            core::CamConfig cfg =
+                core::presetCustom(grid[i].first, grid[i].second);
+            return core::CambriconEngine(cfg, model).decodeToken();
+        });
+
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const auto [ch, chips] = grid[i];
+        const core::TokenStats &s = stats[i];
+        core::CamConfig cfg = core::presetCustom(ch, chips);
+
+        // Memory BOM: weights in flash + KV-cache DRAM.
+        core::Bom bom = core::camllmBom(weight_gb, 2.0);
+        const bool ok = s.tokens_per_s >= target_tok_s;
+        if (ok)
+            winners.push_back({ch, chips, s.tokens_per_s, bom.totalUsd()});
+        t.row({Table::fmtInt(ch), Table::fmtInt(chips),
+               Table::fmtInt(std::uint64_t(ch) *
+                             cfg.flash.geometry.coresPerChannel()),
+               Table::fmt(s.tokens_per_s, 2),
+               Table::fmtPercent(s.avg_channel_util, 0),
+               Table::fmt(bom.totalUsd(), 2), ok ? "yes" : "no"});
     }
     t.print(std::cout);
 

@@ -86,14 +86,15 @@ class Run : public flash::ChannelEngine::Listener
 {
   public:
     /**
+     * @param plans memoized tile plans; must outlive the run and match
+     * cfg's flash geometry, quantization and tiling options.
      * @param prefill_tokens zero simulates one decode step; nonzero
      * simulates the prefill phase over that many prompt tokens.
      */
     Run(const CamConfig &cfg, const llm::ModelConfig &model,
-        std::uint32_t prefill_tokens = 0)
+        const PlanCache &plans, std::uint32_t prefill_tokens = 0)
         : cfg_(cfg), model_(model), prefill_tokens_(prefill_tokens),
-          quant_(llm::QuantSpec::of(cfg.quant)),
-          planner_(cfg.flash, quant_, cfg.tilingOptions()),
+          quant_(llm::QuantSpec::of(cfg.quant)), plans_(plans),
           dram_(eq_, cfg.npu),
           fs_(eq_, cfg.flash, *this, cfg.tile_window, cfg.slicing)
     {
@@ -123,7 +124,13 @@ class Run : public flash::ChannelEngine::Listener
     }
 
   private:
-    const TilePlan &planFor(std::uint64_t rows, std::uint64_t cols);
+    const TilePlan &
+    planFor(std::uint64_t rows, std::uint64_t cols) const
+    {
+        return plans_.planFor(rows, cols);
+    }
+
+    std::uint32_t elemsPerPage() const { return plans_.elemsPerPage(); }
 
     /** Rows of a GeMV the NPU read stream covers in this phase. */
     std::uint64_t
@@ -146,7 +153,7 @@ class Run : public flash::ChannelEngine::Listener
     const llm::ModelConfig &model_;
     std::uint32_t prefill_tokens_;
     llm::QuantSpec quant_;
-    TilingPlanner planner_;
+    const PlanCache &plans_;
 
     EventQueue eq_;
     npu::DramModel dram_;
@@ -162,8 +169,6 @@ class Run : public flash::ChannelEngine::Listener
     std::size_t prefetch_next_ = 0;
     std::uint64_t outstanding_read_bytes_ = 0;
 
-    std::map<std::pair<std::uint64_t, std::uint64_t>, TilePlan> plans_;
-
     std::uint32_t rr_read_channel_ = 0;
     std::uint32_t ops_done_ = 0;
     Tick end_tick_ = 0;
@@ -173,16 +178,6 @@ class Run : public flash::ChannelEngine::Listener
     std::uint64_t wb_flash_ = 0;
     std::uint64_t wb_npu_ = 0;
 };
-
-const TilePlan &
-Run::planFor(std::uint64_t rows, std::uint64_t cols)
-{
-    auto key = std::make_pair(rows, cols);
-    auto it = plans_.find(key);
-    if (it == plans_.end())
-        it = plans_.emplace(key, planner_.plan(rows, cols)).first;
-    return it->second;
-}
 
 Counters
 Run::capture() const
@@ -251,7 +246,7 @@ Run::issueGemv(std::uint32_t id)
 
     const std::uint32_t ch = cfg_.flash.geometry.channels;
     const std::uint32_t cc = cfg_.flash.geometry.coresPerChannel();
-    const std::uint32_t E = planner_.elemsPerPage();
+    const std::uint32_t E = elemsPerPage();
     const double act_bytes = quant_.act_bits / 8.0;
 
     // In no-tiling mode the ragged final unit still goes to flash;
@@ -363,7 +358,7 @@ Run::maybeCompleteGemv(std::uint32_t id)
     const TilePlan &plan = planFor(op.rows, op.cols);
     const std::uint64_t flash_rows = op.rows - npuRows(plan);
     const double drain_flops =
-        2.0 * double(planner_.elemsPerPage()) +
+        2.0 * double(elemsPerPage()) +
         double(cfg_.flash.geometry.channels) * double(flash_rows);
     Tick done = eq_.now() + cfg_.npu.computeTime(drain_flops);
 
@@ -529,12 +524,16 @@ CambriconEngine::CambriconEngine(const CamConfig &config,
               model_.name.c_str(), (unsigned long long)pages_needed,
               (unsigned long long)config_.flash.geometry.totalPages());
     }
+
+    plan_cache_ = std::make_unique<PlanCache>(config_.flash, quant,
+                                              config_.tilingOptions());
+    decode_weight_bytes_ = quant.weightBytes(model_.decodeWeightParams());
 }
 
 TokenStats
 CambriconEngine::decodeToken() const
 {
-    Run run(config_, model_);
+    Run run(config_, model_, *plan_cache_);
     return run.execute();
 }
 
@@ -542,7 +541,7 @@ TokenStats
 CambriconEngine::prefill(std::uint32_t prompt_len) const
 {
     CAMLLM_ASSERT(prompt_len > 0);
-    Run run(config_, model_, prompt_len);
+    Run run(config_, model_, *plan_cache_, prompt_len);
     return run.execute();
 }
 
@@ -556,12 +555,13 @@ CambriconEngine::generate(std::uint32_t prompt_len,
 
     // Decode cost is affine in the context length (the DRAM KV term),
     // so two endpoint simulations integrate the whole reply.
+    // Only seq_len differs, so the engine's memoized plans still apply.
     CamConfig first = config_;
     first.seq_len = prompt_len + 1;
     CamConfig last = config_;
     last.seq_len = prompt_len + reply_len;
-    g.first_decode = Run(first, model_).execute();
-    g.last_decode = Run(last, model_).execute();
+    g.first_decode = Run(first, model_, *plan_cache_).execute();
+    g.last_decode = Run(last, model_, *plan_cache_).execute();
 
     const Tick avg =
         (g.first_decode.token_time + g.last_decode.token_time) / 2;
@@ -573,16 +573,7 @@ CambriconEngine::generate(std::uint32_t prompt_len,
 TilePlan
 CambriconEngine::planFor(std::uint64_t rows, std::uint64_t cols) const
 {
-    TilingPlanner planner(config_.flash, llm::QuantSpec::of(config_.quant),
-                          config_.tilingOptions());
-    return planner.plan(rows, cols);
-}
-
-std::uint64_t
-CambriconEngine::decodeWeightBytes() const
-{
-    return llm::QuantSpec::of(config_.quant)
-        .weightBytes(model_.decodeWeightParams());
+    return plan_cache_->planFor(rows, cols);
 }
 
 } // namespace camllm::core

@@ -16,6 +16,7 @@
 #define CAMLLM_CORE_ENGINE_H
 
 #include <cstdint>
+#include <memory>
 
 #include "common/units.h"
 #include "core/presets.h"
@@ -112,11 +113,18 @@ class CambriconEngine
     const llm::ModelConfig &model() const { return model_; }
 
     /** Total weight bytes touched per decode step. */
-    std::uint64_t decodeWeightBytes() const;
+    std::uint64_t decodeWeightBytes() const { return decode_weight_bytes_; }
+
+    /** Memoized tile plans shared by every Run this engine spawns. */
+    const PlanCache &planCache() const { return *plan_cache_; }
 
   private:
     CamConfig config_;
     llm::ModelConfig model_;
+    // Pointer, not member: built in the ctor body only after the
+    // config/model validity checks have run (fatal(), not panic()).
+    std::unique_ptr<PlanCache> plan_cache_;
+    std::uint64_t decode_weight_bytes_ = 0;
 };
 
 } // namespace camllm::core

@@ -123,4 +123,24 @@ TilingPlanner::plan(std::uint64_t rows, std::uint64_t cols) const
     return p;
 }
 
+const TilePlan &
+PlanCache::planFor(std::uint64_t rows, std::uint64_t cols) const
+{
+    CAMLLM_ASSERT(rows < (std::uint64_t(1) << 32) &&
+                  cols < (std::uint64_t(1) << 32));
+    const std::uint64_t key = (rows << 32) | cols;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = plans_.find(key);
+    if (it == plans_.end())
+        it = plans_.emplace(key, planner_.plan(rows, cols)).first;
+    return it->second;
+}
+
+std::size_t
+PlanCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return plans_.size();
+}
+
 } // namespace camllm::core

@@ -26,7 +26,9 @@
 #define CAMLLM_CORE_TILING_H
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 
 #include "common/units.h"
 #include "flash/params.h"
@@ -105,6 +107,37 @@ class TilingPlanner
     llm::QuantSpec quant_;
     TilingOptions options_;
     std::uint32_t elems_per_page_;
+};
+
+/**
+ * Memoizing front-end for a TilingPlanner. A decode step issues the
+ * same handful of (rows, cols) GeMV shapes hundreds of times; the
+ * cache computes each plan once and hands out stable references.
+ * Thread-safe so sweep workers may share an engine.
+ */
+class PlanCache
+{
+  public:
+    PlanCache(const flash::FlashParams &flash, const llm::QuantSpec &quant,
+              const TilingOptions &options = {})
+        : planner_(flash, quant, options)
+    {
+    }
+
+    /** Memoized TilingPlanner::plan; the reference stays valid. */
+    const TilePlan &planFor(std::uint64_t rows, std::uint64_t cols) const;
+
+    std::uint32_t elemsPerPage() const { return planner_.elemsPerPage(); }
+
+    const TilingPlanner &planner() const { return planner_; }
+
+    /** Distinct shapes planned so far. */
+    std::size_t size() const;
+
+  private:
+    TilingPlanner planner_;
+    mutable std::mutex mu_;
+    mutable std::unordered_map<std::uint64_t, TilePlan> plans_;
 };
 
 } // namespace camllm::core

@@ -18,8 +18,16 @@
 
 namespace camllm::llm {
 
-/** y = W x with INT8 weights, float activations. y.size() == W.rows. */
+/**
+ * y = W x with INT8 weights, float activations. y.size() == W.rows.
+ * Register-blocked (8 rows x 2 unrolled columns); bit-exact with
+ * gemvScalar because each row accumulates in strict column order.
+ */
 void gemv(const QTensor &w, std::span<const float> x, std::span<float> y);
+
+/** Scalar reference implementation of gemv (tests and benches). */
+void gemvScalar(const QTensor &w, std::span<const float> x,
+                std::span<float> y);
 
 /** In-place layer normalization (unit gain, zero bias). */
 void layerNorm(std::span<float> x, float eps = 1e-5f);

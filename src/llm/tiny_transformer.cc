@@ -132,6 +132,8 @@ TinyTransformer::forward(std::span<const std::uint16_t> tokens) const
     std::vector<float> q(d), k(d), v(d), attn_out(d), buf(d);
     std::vector<std::vector<float>> ks(n, std::vector<float>(d));
     std::vector<std::vector<float>> vs(n, std::vector<float>(d));
+    std::vector<float> scores(n);   // per-position slice reused below
+    std::vector<float> hbuf(cfg_.d_ffn);
 
     for (const Layer &layer : layers_) {
         // Pre-compute K/V for every position (weights are shared).
@@ -148,7 +150,6 @@ TinyTransformer::forward(std::span<const std::uint16_t> tokens) const
 
             // Causal multi-head attention, one head at a time.
             std::fill(attn_out.begin(), attn_out.end(), 0.0f);
-            std::vector<float> scores(i + 1);
             for (std::uint32_t h = 0; h < cfg_.n_heads; ++h) {
                 const std::size_t o = std::size_t(h) * hd;
                 for (std::size_t j = 0; j <= i; ++j) {
@@ -168,7 +169,6 @@ TinyTransformer::forward(std::span<const std::uint16_t> tokens) const
             // FFN with pre-norm and residual.
             buf = x[i];
             layerNorm(buf);
-            std::vector<float> hbuf(cfg_.d_ffn);
             gemv(layer.fc1, buf, hbuf);
             geluInPlace(hbuf);
             gemv(layer.fc2, hbuf, buf);

@@ -1,33 +1,193 @@
 #include "event_queue.h"
 
-#include <utility>
+#include <algorithm>
 
 #include "common/logging.h"
 
 namespace camllm {
 
+bool
+EventQueue::farLater(const FarEvent &a, const FarEvent &b)
+{
+    if (a.when != b.when)
+        return a.when > b.when;
+    return a.seq > b.seq;
+}
+
+EventQueue::EventQueue() : buckets_(kBuckets)
+{
+    heap_.reserve(kBuckets);
+    addChunk();
+}
+
+EventQueue::~EventQueue()
+{
+    // Destroy any still-pending callbacks so captured state is freed.
+    for (Bucket &b : buckets_)
+        for (Event *ev = b.head; ev != nullptr; ev = ev->next)
+            if (ev->destroy)
+                ev->destroy(ev->storage);
+    for (FarEvent &fe : heap_)
+        if (fe.ev->destroy)
+            fe.ev->destroy(fe.ev->storage);
+}
+
 void
-EventQueue::schedule(Tick when, Callback cb)
+EventQueue::addChunk()
+{
+    chunks_.push_back(std::make_unique<Event[]>(kChunk));
+    chunk_used_ = 0;
+}
+
+EventQueue::Event *
+EventQueue::allocate()
+{
+    if (free_ != nullptr) {
+        Event *ev = free_;
+        free_ = ev->next;
+        --free_count_;
+        return ev;
+    }
+    if (chunk_used_ == kChunk)
+        addChunk();
+    ++pool_allocated_;
+    return &chunks_.back()[chunk_used_++];
+}
+
+EventQueue::Event *
+EventQueue::acquire(Tick when)
 {
     CAMLLM_ASSERT(when >= now_,
-                  "event scheduled in the past (when=%llu now=%llu)",
-                  (unsigned long long)when, (unsigned long long)now_);
-    heap_.push(Event{when, next_seq_++, std::move(cb)});
+                  "event scheduled in the past "
+                  "(when=%llu now=%llu seq=%llu)",
+                  (unsigned long long)when, (unsigned long long)now_,
+                  (unsigned long long)next_seq_);
+    Event *ev = allocate();
+    ev->when = when;
+    ev->seq = next_seq_++;
+    ev->next = nullptr;
+    return ev;
+}
+
+void
+EventQueue::appendToBucket(Bucket &b, Event *ev)
+{
+    ev->next = nullptr;
+    if (b.tail == nullptr)
+        b.head = ev;
+    else
+        b.tail->next = ev;
+    b.tail = ev;
+}
+
+void
+EventQueue::enqueue(Event *ev)
+{
+    if (ev->when < cal_base_ + kBuckets) {
+        appendToBucket(buckets_[ev->when & kBucketMask], ev);
+        ++cal_count_;
+        if (ev->when < cal_scan_)
+            cal_scan_ = ev->when;
+    } else {
+        heap_.push_back(FarEvent{ev->when, ev->seq, ev});
+        std::push_heap(heap_.begin(), heap_.end(), farLater);
+    }
+}
+
+void
+EventQueue::release(Event *ev)
+{
+    if (ev->destroy)
+        ev->destroy(ev->storage);
+    ev->next = free_;
+    free_ = ev;
+    ++free_count_;
+}
+
+void
+EventQueue::advanceWindow(Tick new_base)
+{
+    CAMLLM_ASSERT(cal_count_ == 0 && new_base >= cal_base_);
+    cal_base_ = new_base;
+    cal_scan_ = new_base;
+    // Heap pops arrive in (when, seq) order, so FIFO appends keep the
+    // same-tick sequence ordering intact.
+    while (!heap_.empty() && heap_.front().when < cal_base_ + kBuckets) {
+        std::pop_heap(heap_.begin(), heap_.end(), farLater);
+        Event *ev = heap_.back().ev;
+        heap_.pop_back();
+        appendToBucket(buckets_[ev->when & kBucketMask], ev);
+        ++cal_count_;
+    }
+}
+
+Tick
+EventQueue::peekEarliestTick()
+{
+    if (cal_count_ == 0) {
+        CAMLLM_ASSERT(!heap_.empty());
+        return heap_.front().when;
+    }
+    Tick t = std::max(cal_scan_, now_);
+    while (buckets_[t & kBucketMask].head == nullptr)
+        ++t;
+    cal_scan_ = t;
+    return t;
+}
+
+EventQueue::Event *
+EventQueue::popEarliest()
+{
+    if (cal_count_ == 0)
+        advanceWindow(peekEarliestTick());
+    const Tick t = peekEarliestTick();
+    Bucket &b = buckets_[t & kBucketMask];
+    Event *ev = b.head;
+    b.head = ev->next;
+    if (b.head == nullptr)
+        b.tail = nullptr;
+    --cal_count_;
+    return ev;
+}
+
+void
+EventQueue::reserve(std::size_t events)
+{
+    if (heap_.capacity() < events)
+        heap_.reserve(events);
+    if (free_count_ + (kChunk - chunk_used_) >= events)
+        return;
+    // Pre-carve records onto the free list until @p events can be
+    // handed out without growing the pool — first the live chunk's
+    // unused tail (so it is not orphaned when a new chunk replaces
+    // it as the carve target), then whole fresh chunks.
+    const auto carve = [this](Event *ev) {
+        ev->destroy = nullptr;
+        ev->next = free_;
+        free_ = ev;
+        ++pool_allocated_;
+        ++free_count_;
+    };
+    while (chunk_used_ < kChunk)
+        carve(&chunks_.back()[chunk_used_++]);
+    while (free_count_ < events) {
+        addChunk();
+        for (std::size_t i = 0; i < kChunk; ++i)
+            carve(&chunks_.back()[i]);
+        chunk_used_ = kChunk;
+    }
 }
 
 bool
 EventQueue::step()
 {
-    if (heap_.empty())
+    if (empty())
         return false;
-    // std::priority_queue::top() is const; move out via const_cast is
-    // UB-free here because we pop immediately and Callback move leaves
-    // the source valid.
-    Event ev = std::move(const_cast<Event &>(heap_.top()));
-    heap_.pop();
-    now_ = ev.when;
+    Event *ev = popEarliest();
+    now_ = ev->when;
     ++executed_;
-    ev.cb();
+    ev->invoke(ev->storage);
+    release(ev);
     return true;
 }
 
@@ -41,8 +201,11 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
-    while (!heap_.empty() && heap_.top().when <= limit)
+    while (!empty()) {
+        if (peekEarliestTick() > limit)
+            break;
         step();
+    }
     if (now_ < limit)
         now_ = limit;
     return now_;
@@ -51,7 +214,20 @@ EventQueue::runUntil(Tick limit)
 void
 EventQueue::reset()
 {
-    heap_ = decltype(heap_)();
+    for (Bucket &b : buckets_) {
+        for (Event *ev = b.head; ev != nullptr;) {
+            Event *next = ev->next;
+            release(ev);
+            ev = next;
+        }
+        b.head = b.tail = nullptr;
+    }
+    cal_count_ = 0;
+    for (FarEvent &fe : heap_)
+        release(fe.ev);
+    heap_.clear();
+    cal_base_ = 0;
+    cal_scan_ = 0;
     now_ = 0;
     next_seq_ = 0;
     executed_ = 0;

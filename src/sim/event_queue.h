@@ -6,25 +6,54 @@
  * scheduled for the same tick execute in insertion order. All device
  * models (flash channels, dies, the NPU, DRAM) are driven from one
  * queue so cross-device interleavings are exact and reproducible.
+ *
+ * The kernel is allocation-free on the hot path: event records are
+ * fixed-size nodes with inline callback storage (no std::function, no
+ * per-event heap traffic) recycled through a free list, and a bucketed
+ * near-future calendar absorbs the same-tick bursts the channel
+ * engines issue, falling back to a binary heap only for far-future
+ * events (die timings tens of microseconds out).
  */
 
 #ifndef CAMLLM_SIM_EVENT_QUEUE_H
 #define CAMLLM_SIM_EVENT_QUEUE_H
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/units.h"
 
 namespace camllm {
 
-/** Min-heap event queue ordered by (tick, insertion sequence). */
+/**
+ * Min-ordered event queue keyed by (tick, insertion sequence).
+ *
+ * Invariants:
+ *  - every pending event with `when < cal_base_ + kBuckets` lives in
+ *    its calendar bucket (`when % kBuckets`, one tick per bucket
+ *    inside the window), appended in sequence order;
+ *  - every other pending event lives in the far-future heap;
+ *  - `cal_base_` only advances, and only while the calendar is empty,
+ *    migrating newly in-window heap events in (tick, seq) order.
+ * Together these make the earliest pending event always the head of
+ * the first non-empty bucket, with same-tick FIFO order preserved.
+ */
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    /** Inline capacity of an event record's callback storage. */
+    static constexpr std::size_t kInlineBytes = 48;
+
+    EventQueue();
+    ~EventQueue();
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
 
     /** Current simulated time. */
     Tick now() const { return now_; }
@@ -33,21 +62,67 @@ class EventQueue
     std::uint64_t executed() const { return executed_; }
 
     /** Number of events still pending. */
-    std::size_t pending() const { return heap_.size(); }
+    std::size_t pending() const { return cal_count_ + heap_.size(); }
 
-    bool empty() const { return heap_.empty(); }
+    bool empty() const { return pending() == 0; }
 
     /**
-     * Schedule @p cb at absolute time @p when.
-     * @pre when >= now(); scheduling in the past is a simulator bug.
+     * Schedule callable @p fn at absolute time @p when.
+     * @pre when >= now(); scheduling in the past is a simulator bug
+     * and panics with the offending (when, now, seq).
      */
-    void schedule(Tick when, Callback cb);
-
-    /** Schedule @p cb @p delay ticks from now. */
-    void scheduleIn(Tick delay, Callback cb)
+    template <typename F>
+    void
+    schedule(Tick when, F &&fn)
     {
-        schedule(now_ + delay, std::move(cb));
+        // Construct the callback before linking the event in, so a
+        // throwing callable constructor leaves no half-initialized
+        // node in the calendar (the unlinked node merely leaks back
+        // to the pool on queue destruction).
+        Event *ev = acquire(when);
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineBytes &&
+                      alignof(Fn) <= alignof(std::max_align_t)) {
+            ::new (static_cast<void *>(ev->storage))
+                Fn(std::forward<F>(fn));
+            ev->invoke = [](void *p) { (*static_cast<Fn *>(p))(); };
+            if constexpr (std::is_trivially_destructible_v<Fn>)
+                ev->destroy = nullptr;
+            else
+                ev->destroy = [](void *p) {
+                    static_cast<Fn *>(p)->~Fn();
+                };
+        } else {
+            // Oversized callable: one heap hop, still pooled node.
+            Fn *boxed = new Fn(std::forward<F>(fn));
+            std::memcpy(ev->storage, &boxed, sizeof boxed);
+            ev->invoke = [](void *p) {
+                Fn *f;
+                std::memcpy(&f, p, sizeof f);
+                (*f)();
+            };
+            ev->destroy = [](void *p) {
+                Fn *f;
+                std::memcpy(&f, p, sizeof f);
+                delete f;
+            };
+        }
+        enqueue(ev);
     }
+
+    /** Schedule @p fn @p delay ticks from now. */
+    template <typename F>
+    void
+    scheduleIn(Tick delay, F &&fn)
+    {
+        schedule(now_ + delay, std::forward<F>(fn));
+    }
+
+    /**
+     * Pre-size the far-future heap and the event pool for @p events
+     * pending events, avoiding regrowth mid-simulation.
+     */
+    void reserve(std::size_t events);
 
     /** Execute the single earliest event. @return false if none left. */
     bool step();
@@ -64,26 +139,78 @@ class EventQueue
     /** Drop all pending events and rewind the clock to zero. */
     void reset();
 
+    /**
+     * Event records ever carved from the pool (recycled nodes are not
+     * re-counted); exposed so tests can verify free-list reuse.
+     */
+    std::size_t poolAllocated() const { return pool_allocated_; }
+
   private:
+    /** Calendar width in ticks; power of two for cheap indexing. */
+    static constexpr std::size_t kBuckets = 1024;
+    static constexpr Tick kBucketMask = Tick(kBuckets - 1);
+    /** Event records per pool chunk. */
+    static constexpr std::size_t kChunk = 512;
+
     struct Event
+    {
+        Tick when = 0;
+        std::uint64_t seq = 0;
+        Event *next = nullptr; ///< bucket FIFO / free-list link
+        void (*invoke)(void *) = nullptr;
+        void (*destroy)(void *) = nullptr;
+        alignas(std::max_align_t) unsigned char storage[kInlineBytes];
+    };
+
+    struct Bucket
+    {
+        Event *head = nullptr;
+        Event *tail = nullptr;
+    };
+
+    /** Far-future reference; heap-ordered by (when, seq). */
+    struct FarEvent
     {
         Tick when;
         std::uint64_t seq;
-        Callback cb;
+        Event *ev;
     };
 
-    struct Later
-    {
-        bool
-        operator()(const Event &a, const Event &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    /** Heap ordering predicate: a executes after b. */
+    static bool farLater(const FarEvent &a, const FarEvent &b);
 
-    std::priority_queue<Event, std::vector<Event>, Later> heap_;
+    /** Pop a pooled record and stamp (when, seq); not yet linked in. */
+    Event *acquire(Tick when);
+    /** Destroy the callback (if any) and return the node to the pool. */
+    void release(Event *ev);
+    Event *allocate();
+    void addChunk();
+    /** Link a fully-constructed event into its bucket or the heap. */
+    void enqueue(Event *ev);
+    static void appendToBucket(Bucket &b, Event *ev);
+    /** Move the window to @p new_base, migrating in-window heap events. */
+    void advanceWindow(Tick new_base);
+    /**
+     * Tick of the earliest pending event (advancing the bucket scan
+     * cursor as a side effect); pending() must be nonzero.
+     */
+    Tick peekEarliestTick();
+    /** Unlink and return the first pending event. */
+    Event *popEarliest();
+
+    std::vector<Bucket> buckets_;
+    std::size_t cal_count_ = 0;
+    Tick cal_base_ = 0; ///< window start: [cal_base_, cal_base_+kBuckets)
+    Tick cal_scan_ = 0; ///< resume point for the earliest-bucket scan
+
+    std::vector<FarEvent> heap_;
+
+    std::vector<std::unique_ptr<Event[]>> chunks_;
+    Event *free_ = nullptr;
+    std::size_t free_count_ = 0;
+    std::size_t chunk_used_ = kChunk; ///< cursor into chunks_.back()
+    std::size_t pool_allocated_ = 0;
+
     Tick now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t executed_ = 0;

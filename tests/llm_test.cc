@@ -9,7 +9,9 @@
 
 #include <cmath>
 #include <set>
+#include <utility>
 
+#include "common/rng.h"
 #include "llm/eval.h"
 #include "llm/kernels.h"
 #include "llm/model_config.h"
@@ -225,6 +227,33 @@ TEST(Kernels, GemvAgainstManualReference)
     gemv(w, x, y);
     EXPECT_FLOAT_EQ(y[0], 0.5f * (1 + 4 - 3));
     EXPECT_FLOAT_EQ(y[1], 0.5f * (-1 + 0 - 4));
+}
+
+// The register-blocked gemv must agree with the scalar reference to
+// the last bit: each row accumulates in strict column order, so no
+// float reassociation is allowed. Shapes cover the 8-row blocks, the
+// row remainder (rows % 8 != 0), and the odd-column tail.
+TEST(Kernels, BlockedGemvBitExactVsScalarReference)
+{
+    Rng rng(2024);
+    const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+        {1, 1},   {7, 3},    {8, 2},    {9, 17},
+        {16, 64}, {61, 127}, {128, 96}, {200, 333},
+    };
+    for (const auto &[rows, cols] : shapes) {
+        QTensor w(rows, cols, 0.0375f);
+        for (auto &v : w.data)
+            v = std::int8_t(std::int32_t(rng.below(255)) - 127);
+        std::vector<float> x(cols);
+        for (auto &v : x)
+            v = float(std::int32_t(rng.below(2001)) - 1000) / 250.0f;
+        std::vector<float> blocked(rows), scalar(rows);
+        gemv(w, x, blocked);
+        gemvScalar(w, x, scalar);
+        for (std::uint32_t r = 0; r < rows; ++r)
+            ASSERT_EQ(blocked[r], scalar[r])
+                << rows << "x" << cols << " row " << r;
+    }
 }
 
 TEST(Kernels, LayerNormZeroMeanUnitVar)

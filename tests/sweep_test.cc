@@ -9,9 +9,11 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <numeric>
 
 #include "core/engine.h"
 #include "core/presets.h"
+#include "core/sweep.h"
 #include "core/tiling.h"
 #include "flash/channel_engine.h"
 #include "llm/model_config.h"
@@ -275,6 +277,54 @@ INSTANTIATE_TEST_SUITE_P(
         return std::to_string(info.param.first) + "x" +
                std::to_string(info.param.second);
     });
+
+// --- parallel sweep runner -----------------------------------------------------
+
+TEST(ParallelSweep, ResultsComeBackInIndexOrder)
+{
+    core::ParallelSweep sweep(4);
+    auto out = sweep.map<std::size_t>(257, [](std::size_t i) {
+        return i * i;
+    });
+    ASSERT_EQ(out.size(), 257u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelSweep, MatchesSequentialEngineResults)
+{
+    const llm::ModelConfig model = llm::opt6_7b();
+    const std::uint32_t chips[] = {1, 2, 4, 8};
+
+    std::vector<core::TokenStats> seq;
+    for (auto c : chips)
+        seq.push_back(core::CambriconEngine(core::presetCustom(8, c),
+                                            model)
+                          .decodeToken());
+
+    core::ParallelSweep sweep(4);
+    auto par = sweep.map<core::TokenStats>(4, [&](std::size_t i) {
+        return core::CambriconEngine(core::presetCustom(8, chips[i]),
+                                     model)
+            .decodeToken();
+    });
+
+    ASSERT_EQ(par.size(), seq.size());
+    for (std::size_t i = 0; i < seq.size(); ++i) {
+        EXPECT_EQ(par[i].token_time, seq[i].token_time);
+        EXPECT_EQ(par[i].pages_computed, seq[i].pages_computed);
+        EXPECT_EQ(par[i].weight_bytes_flash, seq[i].weight_bytes_flash);
+        EXPECT_EQ(par[i].weight_bytes_npu, seq[i].weight_bytes_npu);
+    }
+}
+
+TEST(ParallelSweep, SingleThreadFallback)
+{
+    core::ParallelSweep sweep(1);
+    EXPECT_EQ(sweep.threads(), 1u);
+    auto out = sweep.map<int>(5, [](std::size_t i) { return int(i); });
+    EXPECT_EQ(std::accumulate(out.begin(), out.end(), 0), 10);
+}
 
 } // namespace
 } // namespace camllm

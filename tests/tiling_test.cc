@@ -201,5 +201,38 @@ TEST(Tiling, TinyMatrixStillPlans)
     EXPECT_EQ(p.flash_rows + p.npu_rows, 64u);
 }
 
+TEST(PlanCache, MemoizesAndMatchesPlanner)
+{
+    CamConfig cfg = presetM();
+    TilingPlanner planner(cfg.flash, w8(), cfg.tilingOptions());
+    PlanCache cache(cfg.flash, w8(), cfg.tilingOptions());
+
+    const TilePlan &a = cache.planFor(4096, 4096);
+    const TilePlan &b = cache.planFor(4096, 4096);
+    EXPECT_EQ(&a, &b); // stable reference, computed once
+    EXPECT_EQ(cache.size(), 1u);
+
+    cache.planFor(11008, 4096);
+    EXPECT_EQ(cache.size(), 2u);
+
+    const TilePlan fresh = planner.plan(4096, 4096);
+    EXPECT_EQ(a.wc, fresh.wc);
+    EXPECT_EQ(a.hpc, fresh.hpc);
+    EXPECT_EQ(a.flash_rows, fresh.flash_rows);
+    EXPECT_EQ(a.npu_rows, fresh.npu_rows);
+    EXPECT_DOUBLE_EQ(a.alpha, fresh.alpha);
+}
+
+TEST(PlanCache, DistinguishesRowsFromCols)
+{
+    CamConfig cfg = presetM();
+    PlanCache cache(cfg.flash, w8(), cfg.tilingOptions());
+    const TilePlan &tall = cache.planFor(16384, 4096);
+    const TilePlan &wide = cache.planFor(4096, 16384);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(tall.rows, 16384u);
+    EXPECT_EQ(wide.rows, 4096u);
+}
+
 } // namespace
 } // namespace camllm::core

@@ -28,14 +28,6 @@ struct Outcome
     std::vector<ChannelBus::GrantTrace> grants;
 };
 
-struct Listener : ChannelEngine::Listener
-{
-    EventQueue *eq = nullptr;
-    Tick last_rc = 0;
-    void onRcResult(std::uint64_t) override { last_rc = eq->now(); }
-    void onReadDelivered(std::uint64_t, std::uint32_t) override {}
-};
-
 Outcome
 runStrategy(bool with_read, bool sliced)
 {
@@ -50,9 +42,13 @@ runStrategy(bool with_read, bool sliced)
     p.timing.t_read = 12 * kUs;
 
     EventQueue eq;
-    Listener lis;
-    lis.eq = &eq;
-    ChannelEngine ce(eq, p, lis, 3, /*slice_control=*/sliced);
+    CompletionRouter router(eq);
+    Tick last_rc = 0;
+    router.connect([&](const Completion &c) {
+        if (c.kind == Completion::Kind::RcResult)
+            last_rc = eq.now();
+    });
+    ChannelEngine ce(eq, p, router, 3, /*slice_control=*/sliced);
     Outcome out;
     ce.bus().setTraceHook([&](const ChannelBus::GrantTrace &g) {
         out.grants.push_back(g);
@@ -67,11 +63,16 @@ runStrategy(bool with_read, bool sliced)
     for (int i = 0; i < 4; ++i)
         ce.submitTile(tile);
     if (with_read)
-        for (int i = 0; i < 2; ++i)
-            ce.submitRead({2, p.geometry.page_bytes, sliced});
+        for (int i = 0; i < 2; ++i) {
+            ReadPageJob job;
+            job.op_id = 2;
+            job.bytes = p.geometry.page_bytes;
+            job.sliced = sliced;
+            ce.submitRead(job);
+        }
 
     eq.run();
-    out.rc_done = lis.last_rc;
+    out.rc_done = last_rc;
     out.end = eq.now();
     out.util = ce.bus().busy().utilization(out.end);
     return out;

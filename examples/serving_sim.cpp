@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Serving scenario: an on-device assistant burst.
+ *
+ * Twelve requests land nearly at once — short chat turns, a couple of
+ * long-document questions, a code-completion tail — and the engine
+ * serves them with continuous batching at a batch limit of 4: a
+ * retired request's slot is refilled at the same simulated tick, and
+ * every stream's KV cache grows as its reply decodes. Compares the
+ * batched service against strictly serial service of the same queue.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/batch_engine.h"
+#include "core/presets.h"
+#include "llm/model_config.h"
+
+using namespace camllm;
+using namespace camllm::core;
+
+int
+main()
+{
+    const CamConfig cfg = presetL();
+    const llm::ModelConfig model = llm::llama2_70b();
+
+    // (context, reply tokens): chat turns, two long-document queries,
+    // code completions.
+    const std::vector<RequestSpec> queue = {
+        {512, 3},   {768, 2},  {1024, 3}, {640, 2},
+        {8192, 2},  {12288, 2},
+        {2048, 3},  {1536, 2}, {3072, 2}, {896, 3},
+        {4096, 2},  {1280, 2},
+    };
+
+    BatchEngine engine(cfg, model);
+    const BatchStats batched = engine.run(queue, 4);
+    const BatchStats serial = engine.run(queue, 1);
+
+    std::printf("camllm serving_sim: %zu requests on %s / %s\n\n",
+                queue.size(), cfg.name.c_str(), model.name.c_str());
+    std::printf("%4s %8s %7s %11s %12s %14s %8s\n", "req", "context",
+                "tokens", "admit (ms)", "finish (ms)", "mean tok (ms)",
+                "tok/s");
+    for (const RequestStats &r : batched.requests)
+        std::printf("%4u %8u %7u %11.2f %12.2f %14.1f %8.3f\n", r.id,
+                    r.context, r.decode_tokens,
+                    double(r.admit_tick) / 1e6,
+                    double(r.finish_tick) / 1e6,
+                    double(r.mean_token_time) / 1e6, r.tokens_per_s);
+
+    std::printf("\n%-34s %10s %10s\n", "", "batch=4", "serial");
+    std::printf("%-34s %10.3f %10.3f\n", "aggregate tokens/s",
+                batched.aggregate_tokens_per_s,
+                serial.aggregate_tokens_per_s);
+    std::printf("%-34s %10.3f %10.3f\n", "finite-run tokens/s",
+                batched.finite_run_tokens_per_s,
+                serial.finite_run_tokens_per_s);
+    std::printf("%-34s %9.1f%% %9.1f%%\n", "channel utilization",
+                100.0 * batched.avg_channel_util,
+                100.0 * serial.avg_channel_util);
+    std::printf("%-34s %10.3f %10.3f\n", "Jain fairness",
+                batched.fairness_jain, serial.fairness_jain);
+    std::printf("%-34s %9.1fms %9.1fms\n", "sim makespan",
+                double(batched.sim_makespan) / 1e6,
+                double(serial.sim_makespan) / 1e6);
+    std::printf("\ncontinuous batching served the burst %.2fx faster "
+                "than serial decode.\n",
+                serial.finite_run_tokens_per_s > 0.0
+                    ? batched.finite_run_tokens_per_s /
+                          serial.finite_run_tokens_per_s
+                    : 0.0);
+    return 0;
+}

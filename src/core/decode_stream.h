@@ -1,0 +1,173 @@
+/**
+ * @file
+ * One request's decode (or prefill) driver over shared simulation
+ * resources.
+ *
+ * The stream owns the op-graph scheduling state for a single request:
+ * it builds the token's graph, issues read-compute tiles and page
+ * reads tagged with its flash ClientId, reacts to tagged completions,
+ * and extrapolates the sampled layers to the model's full depth. The
+ * event queue, DRAM model, flash system and plan cache are shared —
+ * one stream per request is exactly how `core::BatchEngine` batches,
+ * and a single stream over private resources is the classic
+ * single-request engine.
+ */
+
+#ifndef CAMLLM_CORE_DECODE_STREAM_H
+#define CAMLLM_CORE_DECODE_STREAM_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/engine.h"
+#include "core/presets.h"
+#include "core/tiling.h"
+#include "flash/flash_system.h"
+#include "llm/opgraph.h"
+#include "npu/dram.h"
+#include "sim/event_queue.h"
+
+namespace camllm::core {
+
+/** Snapshot of every additive counter (for layer extrapolation). */
+struct StreamCounters
+{
+    Tick t = 0;
+    double busy_sum = 0.0; ///< sum of channel busy ticks
+    std::uint64_t ch_high = 0;
+    std::uint64_t ch_low = 0;
+    std::uint64_t dram_bytes = 0;
+    std::uint64_t array_reads = 0;
+    std::uint64_t pages_computed = 0;
+    std::uint64_t pages_read = 0;
+    double npu_flops = 0.0;
+    double flash_flops = 0.0;
+    std::uint64_t wb_flash = 0;
+    std::uint64_t wb_npu = 0;
+
+    StreamCounters operator-(const StreamCounters &o) const;
+    void addScaled(const StreamCounters &d, std::uint64_t k);
+};
+
+/** Per-request decode driver over shared co-simulation resources. */
+class DecodeStream
+{
+  public:
+    /** Shared simulation environment; everything must outlive the
+     *  stream. In batch mode several streams share one Env set. */
+    struct Env
+    {
+        const CamConfig *cfg = nullptr;
+        const llm::ModelConfig *model = nullptr;
+        const PlanCache *plans = nullptr;
+        EventQueue *eq = nullptr;
+        npu::DramModel *dram = nullptr;
+        flash::FlashSystem *fs = nullptr;
+    };
+
+    /** Fires when a token completes, with its (extrapolated) stats.
+     *  In batch mode the byte/utilization counters cover the whole
+     *  device over the token's span, not only this stream's share. */
+    using TokenDone = std::function<void(const TokenStats &)>;
+
+    /** Connects a completion port on env.fs. */
+    explicit DecodeStream(const Env &env);
+
+    DecodeStream(const DecodeStream &) = delete;
+    DecodeStream &operator=(const DecodeStream &) = delete;
+
+    /**
+     * Begin one token at the current tick. @p seq is the request's
+     * context length; nonzero @p prefill_tokens simulates the prefill
+     * phase over that many prompt tokens instead of a decode step.
+     * @p done fires from inside the simulation when the token's last
+     * op completes. One token may be in flight per stream.
+     */
+    void startToken(std::uint32_t seq, std::uint32_t prefill_tokens,
+                    TokenDone done);
+
+    /** True between startToken() and its done callback. */
+    bool busy() const { return !done_ops_all_; }
+
+    /**
+     * Cap on this stream's in-flight NPU read bytes (the prefetch
+     * window). Defaults to the full NPU weight buffer; BatchEngine
+     * divides the buffer across active streams.
+     */
+    void setReadBudget(std::uint64_t bytes) { read_budget_ = bytes; }
+
+    flash::ClientId clientId() const { return client_; }
+
+  private:
+    /** Per-op scheduling state. */
+    struct OpState
+    {
+        std::uint32_t remaining_deps = 0;
+        std::uint64_t rc_remaining = 0;
+        std::uint64_t read_remaining = 0;
+        std::uint64_t read_total = 0;
+        Tick ready_tick = 0; ///< when dependencies were satisfied
+        bool ready = false;
+        bool rc_issued = false;
+        bool reads_issued = false;
+        bool completed = false;
+    };
+
+    bool prefillMode() const { return prefill_tokens_ > 0; }
+    const TilePlan &planFor(std::uint64_t rows, std::uint64_t cols) const
+    {
+        return env_.plans->planFor(rows, cols);
+    }
+    std::uint32_t elemsPerPage() const
+    {
+        return env_.plans->elemsPerPage();
+    }
+    std::uint64_t npuRows(const TilePlan &plan) const;
+
+    void onCompletion(const flash::Completion &c);
+    void opReady(std::uint32_t id);
+    void issueGemv(std::uint32_t id);
+    void issueReads(std::uint32_t id, const TilePlan &plan);
+    void maybeCompleteGemv(std::uint32_t id);
+    void complete(std::uint32_t id);
+    void tryPrefetch();
+    void finishToken();
+    StreamCounters capture() const;
+
+    Env env_;
+    llm::QuantSpec quant_;
+    flash::ClientId client_ = 0;
+
+    std::uint32_t seq_ = 0;
+    std::uint32_t prefill_tokens_ = 0;
+    TokenDone done_;
+    bool done_ops_all_ = true;
+
+    llm::DecodeGraph graph_;
+    bool graph_is_decode_ = false; ///< decode graph cached for rebind
+    std::vector<OpState> st_;
+    std::vector<std::vector<std::uint32_t>> dependents_;
+    std::vector<std::int64_t> layer_last_;
+    std::vector<StreamCounters> layer_snaps_;
+
+    std::vector<std::uint32_t> gemv_order_;
+    std::size_t prefetch_next_ = 0;
+    std::uint64_t outstanding_read_bytes_ = 0;
+    std::uint64_t read_budget_ = 0;
+
+    std::uint32_t rr_read_channel_ = 0;
+    std::uint32_t ops_done_ = 0;
+    Tick token_start_ = 0;
+    Tick end_tick_ = 0;
+    StreamCounters start_;
+
+    double npu_flops_ = 0.0;
+    double flash_flops_ = 0.0;
+    std::uint64_t wb_flash_ = 0;
+    std::uint64_t wb_npu_ = 0;
+};
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_DECODE_STREAM_H

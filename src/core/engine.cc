@@ -1,12 +1,8 @@
 #include "engine.h"
 
-#include <algorithm>
-#include <map>
-#include <vector>
-
 #include "common/logging.h"
+#include "core/decode_stream.h"
 #include "flash/flash_system.h"
-#include "llm/opgraph.h"
 #include "npu/dram.h"
 #include "sim/event_queue.h"
 
@@ -14,487 +10,38 @@ namespace camllm::core {
 
 namespace {
 
-/** Snapshot of every additive counter (for layer extrapolation). */
-struct Counters
-{
-    Tick t = 0;
-    double busy_sum = 0.0; ///< sum of channel busy ticks
-    std::uint64_t ch_high = 0;
-    std::uint64_t ch_low = 0;
-    std::uint64_t dram_bytes = 0;
-    std::uint64_t array_reads = 0;
-    std::uint64_t pages_computed = 0;
-    std::uint64_t pages_read = 0;
-    double npu_flops = 0.0;
-    double flash_flops = 0.0;
-    std::uint64_t wb_flash = 0;
-    std::uint64_t wb_npu = 0;
-
-    Counters
-    operator-(const Counters &o) const
-    {
-        Counters d;
-        d.t = t - o.t;
-        d.busy_sum = busy_sum - o.busy_sum;
-        d.ch_high = ch_high - o.ch_high;
-        d.ch_low = ch_low - o.ch_low;
-        d.dram_bytes = dram_bytes - o.dram_bytes;
-        d.array_reads = array_reads - o.array_reads;
-        d.pages_computed = pages_computed - o.pages_computed;
-        d.pages_read = pages_read - o.pages_read;
-        d.npu_flops = npu_flops - o.npu_flops;
-        d.flash_flops = flash_flops - o.flash_flops;
-        d.wb_flash = wb_flash - o.wb_flash;
-        d.wb_npu = wb_npu - o.wb_npu;
-        return d;
-    }
-
-    void
-    addScaled(const Counters &d, std::uint64_t k)
-    {
-        t += d.t * k;
-        busy_sum += d.busy_sum * double(k);
-        ch_high += d.ch_high * k;
-        ch_low += d.ch_low * k;
-        dram_bytes += d.dram_bytes * k;
-        array_reads += d.array_reads * k;
-        pages_computed += d.pages_computed * k;
-        pages_read += d.pages_read * k;
-        npu_flops += d.npu_flops * double(k);
-        flash_flops += d.flash_flops * double(k);
-        wb_flash += d.wb_flash * k;
-        wb_npu += d.wb_npu * k;
-    }
-};
-
-/** Per-op scheduling state. */
-struct OpState
-{
-    std::uint32_t remaining_deps = 0;
-    std::uint64_t rc_remaining = 0;
-    std::uint64_t read_remaining = 0;
-    std::uint64_t read_total = 0;
-    Tick ready_tick = 0; ///< when dependencies were satisfied
-    bool ready = false;
-    bool rc_issued = false;
-    bool reads_issued = false;
-    bool completed = false;
-};
-
-/** One decode-token co-simulation. */
-class Run : public flash::ChannelEngine::Listener
-{
-  public:
-    /**
-     * @param plans memoized tile plans; must outlive the run and match
-     * cfg's flash geometry, quantization and tiling options.
-     * @param prefill_tokens zero simulates one decode step; nonzero
-     * simulates the prefill phase over that many prompt tokens.
-     */
-    Run(const CamConfig &cfg, const llm::ModelConfig &model,
-        const PlanCache &plans, std::uint32_t prefill_tokens = 0)
-        : cfg_(cfg), model_(model), prefill_tokens_(prefill_tokens),
-          quant_(llm::QuantSpec::of(cfg.quant)), plans_(plans),
-          dram_(eq_, cfg.npu),
-          fs_(eq_, cfg.flash, *this, cfg.tile_window, cfg.slicing)
-    {
-    }
-
-    bool prefillMode() const { return prefill_tokens_ > 0; }
-
-    TokenStats execute();
-
-    // flash listener -----------------------------------------------------
-    void
-    onRcResult(std::uint64_t op_id) override
-    {
-        auto &s = st_[op_id];
-        CAMLLM_ASSERT(s.rc_remaining > 0);
-        --s.rc_remaining;
-        maybeCompleteGemv(std::uint32_t(op_id));
-    }
-
-    void
-    onReadDelivered(std::uint64_t op_id, std::uint32_t bytes) override
-    {
-        auto &s = st_[op_id];
-        CAMLLM_ASSERT(s.read_remaining >= bytes);
-        s.read_remaining -= bytes;
-        maybeCompleteGemv(std::uint32_t(op_id));
-    }
-
-  private:
-    const TilePlan &
-    planFor(std::uint64_t rows, std::uint64_t cols) const
-    {
-        return plans_.planFor(rows, cols);
-    }
-
-    std::uint32_t elemsPerPage() const { return plans_.elemsPerPage(); }
-
-    /** Rows of a GeMV the NPU read stream covers in this phase. */
-    std::uint64_t
-    npuRows(const TilePlan &plan) const
-    {
-        if (prefillMode())
-            return plan.rows; // batched GeMM runs on the NPU
-        return cfg_.hybrid_tiling ? plan.npu_rows : 0;
-    }
-
-    void opReady(std::uint32_t id);
-    void issueGemv(std::uint32_t id);
-    void issueReads(std::uint32_t id, const TilePlan &plan);
-    void maybeCompleteGemv(std::uint32_t id);
-    void complete(std::uint32_t id);
-    void tryPrefetch();
-    Counters capture() const;
-
-    const CamConfig &cfg_;
-    const llm::ModelConfig &model_;
-    std::uint32_t prefill_tokens_;
-    llm::QuantSpec quant_;
-    const PlanCache &plans_;
-
-    EventQueue eq_;
-    npu::DramModel dram_;
-    flash::FlashSystem fs_;
-
-    llm::DecodeGraph graph_;
-    std::vector<OpState> st_;
-    std::vector<std::vector<std::uint32_t>> dependents_;
-    std::vector<std::int64_t> layer_last_;
-    std::vector<Counters> layer_snaps_;
-
-    std::vector<std::uint32_t> gemv_order_;
-    std::size_t prefetch_next_ = 0;
-    std::uint64_t outstanding_read_bytes_ = 0;
-
-    std::uint32_t rr_read_channel_ = 0;
-    std::uint32_t ops_done_ = 0;
-    Tick end_tick_ = 0;
-
-    double npu_flops_ = 0.0;
-    double flash_flops_ = 0.0;
-    std::uint64_t wb_flash_ = 0;
-    std::uint64_t wb_npu_ = 0;
-};
-
-Counters
-Run::capture() const
-{
-    Counters c;
-    c.t = eq_.now();
-    for (std::uint32_t i = 0; i < fs_.channelCount(); ++i)
-        c.busy_sum += double(fs_.channel(i).bus().busy().busyTicks());
-    c.ch_high = fs_.channelBytesHigh();
-    c.ch_low = fs_.channelBytesLow();
-    c.dram_bytes = dram_.bytesMoved();
-    c.array_reads = fs_.arrayReads();
-    c.pages_computed = fs_.pagesComputed();
-    c.pages_read = fs_.pagesRead();
-    c.npu_flops = npu_flops_;
-    c.flash_flops = flash_flops_;
-    c.wb_flash = wb_flash_;
-    c.wb_npu = wb_npu_;
-    return c;
-}
-
-void
-Run::opReady(std::uint32_t id)
-{
-    auto &s = st_[id];
-    CAMLLM_ASSERT(!s.ready);
-    s.ready = true;
-    s.ready_tick = eq_.now();
-    const llm::Op &op = graph_.ops[id];
-
-    switch (op.kind) {
-      case llm::OpKind::Sfu:
-        npu_flops_ += op.flops;
-        eq_.scheduleIn(cfg_.npu.sfuTime(op.sfu_elems),
-                       [this, id] { complete(id); });
-        break;
-      case llm::OpKind::KvAppend:
-        dram_.request(op.kv_bytes, [this, id] { complete(id); });
-        break;
-      case llm::OpKind::KvLoadCompute: {
-        npu_flops_ += op.flops;
-        const Tick comp = cfg_.npu.computeTime(op.flops);
-        const Tick serv = dram_.serviceTime(op.kv_bytes);
-        const Tick extra = comp > serv ? comp - serv : 0;
-        dram_.request(op.kv_bytes, [this, id, extra] {
-            if (extra > 0)
-                eq_.scheduleIn(extra, [this, id] { complete(id); });
-            else
-                complete(id);
-        });
-        break;
-      }
-      case llm::OpKind::GemvWeight:
-        issueGemv(id);
-        break;
-    }
-    tryPrefetch();
-}
-
-void
-Run::issueGemv(std::uint32_t id)
-{
-    const llm::Op &op = graph_.ops[id];
-    const TilePlan &plan = planFor(op.rows, op.cols);
-    auto &s = st_[id];
-
-    const std::uint32_t ch = cfg_.flash.geometry.channels;
-    const std::uint32_t cc = cfg_.flash.geometry.coresPerChannel();
-    const std::uint32_t E = elemsPerPage();
-    const double act_bytes = quant_.act_bits / 8.0;
-
-    // In no-tiling mode the ragged final unit still goes to flash;
-    // in prefill nothing does (cores cannot batch positions).
-    std::uint64_t units = plan.flash_core_rows;
-    if (!cfg_.hybrid_tiling)
-        units = (op.rows + plan.hpc - 1) / plan.hpc;
-    if (prefillMode())
-        units = 0;
-
-    std::uint64_t rc_expected = 0;
-    if (units > 0) {
-        const std::uint64_t n_full_tiles = units / cc;
-        const std::uint32_t rem_cores = std::uint32_t(units % cc);
-
-        for (std::uint32_t ct = 0; ct < plan.n_col_tiles; ++ct) {
-            const std::uint64_t w_off = std::uint64_t(ct) * plan.tile.w;
-            const std::uint64_t w_t =
-                std::min<std::uint64_t>(plan.tile.w, op.cols - w_off);
-            const auto wc_t = std::uint32_t((w_t + ch - 1) / ch);
-            const auto in_bytes = std::uint32_t(
-                std::max(1.0, wc_t * act_bytes + 0.5));
-            const auto out_b = std::uint32_t(
-                std::max<std::uint32_t>(1, plan.hpc *
-                                               cfg_.out_elem_bytes));
-            const Tick comp = cfg_.flash.timing.computeTime(
-                std::uint64_t(plan.hpc) * wc_t, E);
-
-            auto submit = [&](std::uint32_t cores) {
-                flash::RcTileWork tile;
-                tile.op_id = id;
-                tile.cores_used = cores;
-                tile.input_bytes = in_bytes;
-                tile.out_bytes_per_core = out_b;
-                tile.compute_time = comp;
-                for (std::uint32_t c = 0; c < ch; ++c)
-                    fs_.submitTile(c, tile);
-                rc_expected += std::uint64_t(cores) * ch;
-            };
-            for (std::uint64_t ft = 0; ft < n_full_tiles; ++ft)
-                submit(cc);
-            if (rem_cores > 0)
-                submit(rem_cores);
-        }
-    }
-    s.rc_remaining = rc_expected;
-    s.rc_issued = true;
-
-    const std::uint64_t flash_rows = op.rows - npuRows(plan);
-    flash_flops_ += 2.0 * double(flash_rows) * double(op.cols);
-    wb_flash_ += quant_.weightBytes(flash_rows * op.cols);
-
-    if (!s.reads_issued)
-        issueReads(id, plan);
-    maybeCompleteGemv(id);
-}
-
-void
-Run::issueReads(std::uint32_t id, const TilePlan &plan)
-{
-    auto &s = st_[id];
-    CAMLLM_ASSERT(!s.reads_issued);
-    s.reads_issued = true;
-
-    const std::uint64_t npu_rows = npuRows(plan);
-    const std::uint64_t bytes = quant_.weightBytes(npu_rows * plan.cols);
-    s.read_total = bytes;
-    s.read_remaining = bytes;
-    if (bytes == 0)
-        return;
-
-    npu_flops_ += 2.0 * double(npu_rows) * double(plan.cols) *
-                  graph_.ops[id].npu_compute_scale;
-    wb_npu_ += bytes;
-    outstanding_read_bytes_ += bytes;
-
-    const std::uint32_t page = cfg_.flash.geometry.page_bytes;
-    std::uint64_t left = bytes;
-    while (left > 0) {
-        const auto chunk = std::uint32_t(
-            std::min<std::uint64_t>(page, left));
-        left -= chunk;
-        flash::ReadPageJob job;
-        job.op_id = id;
-        job.bytes = chunk;
-        job.sliced = cfg_.slicing;
-        fs_.submitRead(rr_read_channel_, job);
-        rr_read_channel_ =
-            (rr_read_channel_ + 1) % cfg_.flash.geometry.channels;
-    }
-}
-
-void
-Run::maybeCompleteGemv(std::uint32_t id)
-{
-    auto &s = st_[id];
-    if (s.completed || !s.ready || !s.rc_issued)
-        return;
-    if (s.rc_remaining != 0 || s.read_remaining != 0)
-        return;
-    s.completed = true;
-
-    // Pipeline drain: the NPU multiplies the final streamed page and
-    // reduces the per-channel partial sums of the flash share. When
-    // the op's compute is scaled (prefill GeMM), completion further
-    // waits until the streaming-overlapped compute finishes:
-    // max(stream done, ready + total NPU compute).
-    const llm::Op &op = graph_.ops[id];
-    const TilePlan &plan = planFor(op.rows, op.cols);
-    const std::uint64_t flash_rows = op.rows - npuRows(plan);
-    const double drain_flops =
-        2.0 * double(elemsPerPage()) +
-        double(cfg_.flash.geometry.channels) * double(flash_rows);
-    Tick done = eq_.now() + cfg_.npu.computeTime(drain_flops);
-
-    const double npu_flops = 2.0 * double(npuRows(plan)) *
-                             double(op.cols) * op.npu_compute_scale;
-    done = std::max(done, s.ready_tick + cfg_.npu.computeTime(npu_flops));
-    eq_.schedule(done, [this, id] { complete(id); });
-}
-
-void
-Run::complete(std::uint32_t id)
-{
-    auto &s = st_[id];
-    const llm::Op &op = graph_.ops[id];
-    if (op.kind != llm::OpKind::GemvWeight) {
-        CAMLLM_ASSERT(!s.completed);
-        s.completed = true;
-    } else {
-        outstanding_read_bytes_ -= s.read_total;
-    }
-
-    ++ops_done_;
-    if (ops_done_ == graph_.ops.size())
-        end_tick_ = eq_.now();
-
-    // Layer-boundary snapshot for steady-state extrapolation.
-    if (op.layer != ~std::uint32_t(0) &&
-        layer_last_[op.layer] == std::int64_t(id))
-        layer_snaps_[op.layer] = capture();
-
-    for (std::uint32_t dep : dependents_[id]) {
-        CAMLLM_ASSERT(st_[dep].remaining_deps > 0);
-        if (--st_[dep].remaining_deps == 0)
-            opReady(dep);
-    }
-    tryPrefetch();
-}
-
-void
-Run::tryPrefetch()
-{
-    if (!cfg_.prefetch)
-        return;
-    while (prefetch_next_ < gemv_order_.size()) {
-        const std::uint32_t id = gemv_order_[prefetch_next_];
-        if (st_[id].reads_issued) {
-            ++prefetch_next_;
-            continue;
-        }
-        const llm::Op &op = graph_.ops[id];
-        const TilePlan &plan = planFor(op.rows, op.cols);
-        const std::uint64_t bytes =
-            quant_.weightBytes(npuRows(plan) * plan.cols);
-        if (bytes > 0 && outstanding_read_bytes_ + bytes >
-                             cfg_.npu.weight_buffer_bytes)
-            break;
-        issueReads(id, plan);
-        ++prefetch_next_;
-    }
-}
-
+/**
+ * One single-request co-simulation: private event queue, DRAM and
+ * flash device, one DecodeStream driving one token (or one prefill
+ * pass). The multi-request path lives in core::BatchEngine and shares
+ * these resources across streams instead.
+ */
 TokenStats
-Run::execute()
+simulateOne(const CamConfig &cfg, const llm::ModelConfig &model,
+            const PlanCache &plans, std::uint32_t prefill_tokens)
 {
-    const std::uint32_t layers =
-        std::min(model_.n_layers, cfg_.sample_layers);
-    if (model_.n_layers > layers)
-        CAMLLM_ASSERT(layers >= 3,
-                      "need >= 3 sampled layers to extrapolate");
-    graph_ = prefillMode()
-                 ? llm::buildPrefillGraph(model_, prefill_tokens_,
-                                          quant_, layers)
-                 : llm::buildDecodeGraph(model_, cfg_.seq_len, quant_,
-                                         layers);
+    EventQueue eq;
+    npu::DramModel dram(eq, cfg.npu);
+    flash::FlashSystem fs(eq, cfg.flash, cfg.tile_window, cfg.slicing);
 
-    const std::size_t n = graph_.ops.size();
-    st_.assign(n, OpState{});
-    dependents_.assign(n, {});
-    layer_last_.assign(layers, -1);
-    layer_snaps_.assign(layers, Counters{});
+    DecodeStream::Env env;
+    env.cfg = &cfg;
+    env.model = &model;
+    env.plans = &plans;
+    env.eq = &eq;
+    env.dram = &dram;
+    env.fs = &fs;
 
-    for (std::uint32_t i = 0; i < n; ++i) {
-        const llm::Op &op = graph_.ops[i];
-        st_[i].remaining_deps = std::uint32_t(op.deps.size());
-        for (std::uint32_t d : op.deps)
-            dependents_[d].push_back(i);
-        if (op.kind == llm::OpKind::GemvWeight)
-            gemv_order_.push_back(i);
-        if (op.layer != ~std::uint32_t(0))
-            layer_last_[op.layer] =
-                std::max(layer_last_[op.layer], std::int64_t(i));
-    }
-
-    for (std::uint32_t i = 0; i < n; ++i)
-        if (st_[i].remaining_deps == 0)
-            opReady(i);
-
-    eq_.run();
-    CAMLLM_ASSERT(ops_done_ == n, "only %u of %zu ops completed",
-                  ops_done_, n);
-
-    Counters total = capture();
-    total.t = end_tick_;
-
+    DecodeStream stream(env);
     TokenStats out;
-    out.simulated_layers = layers;
-    if (layers < model_.n_layers) {
-        // Steady-state delta between two interior layers (the last
-        // sampled layer also contains the final norm, so use k-3/k-2).
-        const Counters delta =
-            layer_snaps_[layers - 2] - layer_snaps_[layers - 3];
-        total.addScaled(delta, model_.n_layers - layers);
-        out.extrapolated = true;
-    }
-
-    out.token_time = total.t;
-    const double tokens = prefillMode() ? double(prefill_tokens_) : 1.0;
-    out.tokens_per_s =
-        total.t > 0 ? tokens * double(kSec) / double(total.t) : 0.0;
-    out.avg_channel_util =
-        total.t > 0 ? total.busy_sum /
-                          (double(total.t) *
-                           double(cfg_.flash.geometry.channels))
-                    : 0.0;
-    out.channel_bytes_high = total.ch_high;
-    out.channel_bytes_low = total.ch_low;
-    out.dram_bytes = total.dram_bytes;
-    out.array_read_bytes =
-        total.array_reads *
-        std::uint64_t(cfg_.flash.geometry.page_bytes);
-    out.pages_computed = total.pages_computed;
-    out.pages_read = total.pages_read;
-    out.npu_flops = total.npu_flops;
-    out.flash_flops = total.flash_flops;
-    out.weight_bytes_flash = total.wb_flash;
-    out.weight_bytes_npu = total.wb_npu;
+    bool finished = false;
+    stream.startToken(cfg.seq_len, prefill_tokens,
+                      [&](const TokenStats &s) {
+                          out = s;
+                          finished = true;
+                      });
+    eq.run();
+    CAMLLM_ASSERT(finished, "token did not complete");
     return out;
 }
 
@@ -533,16 +80,14 @@ CambriconEngine::CambriconEngine(const CamConfig &config,
 TokenStats
 CambriconEngine::decodeToken() const
 {
-    Run run(config_, model_, *plan_cache_);
-    return run.execute();
+    return simulateOne(config_, model_, *plan_cache_, 0);
 }
 
 TokenStats
 CambriconEngine::prefill(std::uint32_t prompt_len) const
 {
     CAMLLM_ASSERT(prompt_len > 0);
-    Run run(config_, model_, *plan_cache_, prompt_len);
-    return run.execute();
+    return simulateOne(config_, model_, *plan_cache_, prompt_len);
 }
 
 GenerateStats
@@ -560,8 +105,8 @@ CambriconEngine::generate(std::uint32_t prompt_len,
     first.seq_len = prompt_len + 1;
     CamConfig last = config_;
     last.seq_len = prompt_len + reply_len;
-    g.first_decode = Run(first, model_, *plan_cache_).execute();
-    g.last_decode = Run(last, model_, *plan_cache_).execute();
+    g.first_decode = simulateOne(first, model_, *plan_cache_, 0);
+    g.last_decode = simulateOne(last, model_, *plan_cache_, 0);
 
     const Tick avg =
         (g.first_decode.token_time + g.last_decode.token_time) / 2;

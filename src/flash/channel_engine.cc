@@ -5,10 +5,10 @@
 namespace camllm::flash {
 
 ChannelEngine::ChannelEngine(EventQueue &eq, const FlashParams &params,
-                             Listener &listener,
+                             CompletionRouter &router,
                              std::uint32_t tile_window,
                              bool slice_control)
-    : eq_(eq), params_(params), listener_(listener),
+    : eq_(eq), params_(params), router_(router),
       tile_window_(tile_window),
       bus_(eq, params.timing.busBytesPerNs(), params.timing.grant_overhead,
            slice_control)
@@ -52,8 +52,8 @@ ChannelEngine::tryActivate()
         RcTileWork tile = tile_queue_.front();
         tile_queue_.pop_front();
         const std::uint32_t seq = next_tile_seq_++;
-        active_.emplace(seq,
-                        ActiveTile{tile.op_id, tile.cores_used, false});
+        active_.emplace(seq, ActiveTile{tile.client, tile.op_id,
+                                        tile.cores_used, false});
 
         // Broadcast the input slice to every engaged core's input
         // buffer; a single grant serves all chips on the bus.
@@ -68,6 +68,7 @@ ChannelEngine::tryActivate()
                      "rc-input");
 
         RcPageJob job;
+        job.client = tile.client;
         job.op_id = tile.op_id;
         job.tile_seq = seq;
         job.out_bytes = tile.out_bytes_per_core;
@@ -113,13 +114,22 @@ ChannelEngine::onRcResultDelivered(const RcPageJob &job)
         active_.erase(it);
         tryActivate();
     }
-    listener_.onRcResult(job.op_id);
+    Completion c;
+    c.kind = Completion::Kind::RcResult;
+    c.client = job.client;
+    c.op_id = job.op_id;
+    router_.deliver(c);
 }
 
 void
 ChannelEngine::onReadDelivered(const ReadPageJob &job)
 {
-    listener_.onReadDelivered(job.op_id, job.bytes);
+    Completion c;
+    c.kind = Completion::Kind::ReadData;
+    c.client = job.client;
+    c.op_id = job.op_id;
+    c.bytes = job.bytes;
+    router_.deliver(c);
     dispatchReads();
 }
 

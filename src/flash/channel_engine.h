@@ -4,6 +4,12 @@
  * runs the read-compute tile window (Compute Control + input-buffer
  * credit) and dispatches ordinary page reads to idle read planes
  * (Slice Control's partner on the controller side).
+ *
+ * Completions are not upcalled synchronously: each finished tile
+ * result or read page becomes a tagged Completion record handed to
+ * the CompletionRouter, which delivers it to the owning client
+ * through the EventQueue. The channel itself is client agnostic, so
+ * several decode streams may interleave work on the same channel.
  */
 
 #ifndef CAMLLM_FLASH_CHANNEL_ENGINE_H
@@ -16,6 +22,7 @@
 #include <vector>
 
 #include "flash/bus.h"
+#include "flash/completion.h"
 #include "flash/die.h"
 #include "flash/params.h"
 #include "flash/work.h"
@@ -27,24 +34,15 @@ namespace camllm::flash {
 class ChannelEngine
 {
   public:
-    /** Completion upcalls to the owner (the Cambricon-LLM engine). */
-    struct Listener
-    {
-        virtual ~Listener() = default;
-        /** One core's read-compute result reached the NPU. */
-        virtual void onRcResult(std::uint64_t op_id) = 0;
-        /** One read page's data fully reached the NPU. */
-        virtual void onReadDelivered(std::uint64_t op_id,
-                                     std::uint32_t bytes) = 0;
-    };
-
     /**
+     * @param router completion routing back to connected clients;
+     * must outlive the channel.
      * @param slice_control enables the paper's Slice Control: priority
      * bus arbitration for rc traffic (the read-slicing half lives in
      * each ReadPageJob's `sliced` flag).
      */
     ChannelEngine(EventQueue &eq, const FlashParams &params,
-                  Listener &listener, std::uint32_t tile_window = 3,
+                  CompletionRouter &router, std::uint32_t tile_window = 3,
                   bool slice_control = true);
 
     /** Queue a read-compute tile (this channel's slice of it). */
@@ -79,6 +77,7 @@ class ChannelEngine
 
     struct ActiveTile
     {
+        ClientId client;
         std::uint64_t op_id;
         std::uint32_t results_remaining;
         bool input_ready = false;
@@ -86,7 +85,7 @@ class ChannelEngine
 
     EventQueue &eq_;
     FlashParams params_;
-    Listener &listener_;
+    CompletionRouter &router_;
     std::uint32_t tile_window_;
 
     ChannelBus bus_;

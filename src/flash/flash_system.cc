@@ -5,16 +5,15 @@
 namespace camllm::flash {
 
 FlashSystem::FlashSystem(EventQueue &eq, const FlashParams &params,
-                         Listener &listener, std::uint32_t tile_window,
-                         bool slice_control)
-    : params_(params)
+                         std::uint32_t tile_window, bool slice_control)
+    : params_(params), router_(eq)
 {
     if (!params_.valid())
         fatal("invalid flash configuration");
     channels_.reserve(params_.geometry.channels);
     for (std::uint32_t c = 0; c < params_.geometry.channels; ++c) {
         channels_.push_back(std::make_unique<ChannelEngine>(
-            eq, params_, listener, tile_window, slice_control));
+            eq, params_, router_, tile_window, slice_control));
     }
 }
 
@@ -78,6 +77,15 @@ FlashSystem::arrayReads() const
     for (const auto &ch : channels_)
         n += ch->arrayReads();
     return n;
+}
+
+double
+FlashSystem::busBusySum() const
+{
+    double sum = 0.0;
+    for (const auto &ch : channels_)
+        sum += double(ch->bus().busy().busyTicks());
+    return sum;
 }
 
 } // namespace camllm::flash

@@ -1,7 +1,11 @@
 /**
  * @file
  * Facade over all flash channels: construction from FlashParams,
- * work submission routing and aggregate statistics.
+ * client connection, work submission routing and aggregate
+ * statistics. Clients connect() a completion handler, tag their work
+ * items with the returned ClientId, and receive tagged Completion
+ * records through the EventQueue — several in-flight decode graphs
+ * can share the one device.
  */
 
 #ifndef CAMLLM_FLASH_FLASH_SYSTEM_H
@@ -12,6 +16,7 @@
 #include <vector>
 
 #include "flash/channel_engine.h"
+#include "flash/completion.h"
 #include "flash/params.h"
 #include "sim/event_queue.h"
 
@@ -21,11 +26,15 @@ namespace camllm::flash {
 class FlashSystem
 {
   public:
-    using Listener = ChannelEngine::Listener;
-
     FlashSystem(EventQueue &eq, const FlashParams &params,
-                Listener &listener, std::uint32_t tile_window = 3,
-                bool slice_control = true);
+                std::uint32_t tile_window = 3, bool slice_control = true);
+
+    /** Register a completion handler; tag submitted work with the id. */
+    ClientId
+    connect(CompletionRouter::Handler handler)
+    {
+        return router_.connect(std::move(handler));
+    }
 
     const FlashParams &params() const { return params_; }
     std::uint32_t channelCount() const { return params_.geometry.channels; }
@@ -68,8 +77,12 @@ class FlashSystem
     /** Total NAND array reads (the dominant energy term). */
     std::uint64_t arrayReads() const;
 
+    /** Sum of channel-bus busy ticks over all channels. */
+    double busBusySum() const;
+
   private:
     FlashParams params_;
+    CompletionRouter router_;
     std::vector<std::unique_ptr<ChannelEngine>> channels_;
 };
 

@@ -1,7 +1,8 @@
 /**
  * @file
  * Work items exchanged between the Cambricon-LLM engine, the
- * per-channel schedulers and the flash dies.
+ * per-channel schedulers and the flash dies, plus the tagged
+ * completion records the flash device posts back to its clients.
  */
 
 #ifndef CAMLLM_FLASH_WORK_H
@@ -13,6 +14,9 @@
 
 namespace camllm::flash {
 
+/** Identifies one connected flash client (one decode stream). */
+using ClientId = std::uint32_t;
+
 /**
  * One atomic tile of a read-compute request, i.e.\ the single weight
  * page a specific compute core multiplies against the (broadcast)
@@ -21,7 +25,8 @@ namespace camllm::flash {
  */
 struct RcPageJob
 {
-    std::uint64_t op_id = 0;    ///< owning GeMV operation
+    ClientId client = 0;        ///< stream the result belongs to
+    std::uint64_t op_id = 0;    ///< owning GeMV op, client-local id
     std::uint32_t tile_seq = 0; ///< channel-local tile sequence number
     std::uint32_t out_bytes = 0;///< result-vector bytes this core returns
     Tick compute_time = 0;      ///< core occupancy for this page
@@ -33,6 +38,7 @@ struct RcPageJob
  */
 struct ReadPageJob
 {
+    ClientId client = 0;
     std::uint64_t op_id = 0;
     std::uint32_t bytes = 0; ///< useful data bytes (<= page size)
     bool sliced = true;      ///< Slice Control on/off (Fig 12 ablation)
@@ -44,11 +50,34 @@ struct ReadPageJob
  */
 struct RcTileWork
 {
+    ClientId client = 0;
     std::uint64_t op_id = 0;
     std::uint32_t cores_used = 0;       ///< dies engaged on this channel
     std::uint32_t input_bytes = 0;      ///< broadcast grant size
     std::uint32_t out_bytes_per_core = 0;
     Tick compute_time = 0;              ///< per-core page compute time
+};
+
+/**
+ * One completion record posted back to a flash client. Replaces the
+ * old synchronous Listener upcalls: the channel tags each record with
+ * the originating client and (client-local) op id, queues it, and
+ * delivers it through the EventQueue, so one flash device can serve
+ * several in-flight decode graphs without the clients ever being
+ * called from inside a die's bus-grant event.
+ */
+struct Completion
+{
+    enum class Kind : std::uint8_t
+    {
+        RcResult, ///< one core's read-compute result reached the NPU
+        ReadData  ///< one read page's data fully reached the NPU
+    };
+
+    Kind kind = Kind::RcResult;
+    ClientId client = 0;
+    std::uint64_t op_id = 0;
+    std::uint32_t bytes = 0; ///< delivered bytes (ReadData only)
 };
 
 } // namespace camllm::flash

@@ -102,6 +102,17 @@ DecodeGraph buildPrefillGraph(const ModelConfig &model,
                               const QuantSpec &quant,
                               std::uint32_t layers_to_build);
 
+/**
+ * Rebind a decode graph built by buildDecodeGraph to context length
+ * @p seq in place. The decode graph's structure (ops, deps, weight
+ * shapes) is seq-independent; only the KV-load magnitudes and the
+ * softmax width scale with context, so a multi-token request can
+ * reinstance its graph per step without rebuilding it. Produces a
+ * graph identical to buildDecodeGraph(model, seq, quant, g.n_layers).
+ */
+void rebindDecodeGraphSeq(DecodeGraph &g, const ModelConfig &model,
+                          const QuantSpec &quant, std::uint32_t seq);
+
 } // namespace camllm::llm
 
 #endif // CAMLLM_LLM_OPGRAPH_H

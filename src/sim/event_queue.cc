@@ -1,6 +1,7 @@
 #include "event_queue.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 
@@ -14,9 +15,41 @@ EventQueue::farLater(const FarEvent &a, const FarEvent &b)
     return a.seq > b.seq;
 }
 
-EventQueue::EventQueue() : buckets_(kBuckets)
+namespace {
+
+/** Smallest power of two >= @p n within [lo, hi]. */
+std::size_t
+roundUpPow2Clamped(std::size_t n, std::size_t lo, std::size_t hi)
 {
-    heap_.reserve(kBuckets);
+    n = std::max(n, lo);
+    n = std::min(n, hi);
+    std::size_t p = lo;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+std::size_t
+EventQueue::defaultWindow()
+{
+    if (const char *env = std::getenv("CAMLLM_EQ_WINDOW")) {
+        const long n = std::strtol(env, nullptr, 10);
+        if (n >= 1)
+            return std::size_t(n);
+        warn("ignoring CAMLLM_EQ_WINDOW='%s' (want ticks >= 1)", env);
+    }
+    return kDefaultWindow;
+}
+
+EventQueue::EventQueue(std::size_t window_ticks)
+    : buckets_(roundUpPow2Clamped(window_ticks == 0 ? defaultWindow()
+                                                    : window_ticks,
+                                  kMinWindow, kMaxWindow))
+{
+    bucket_mask_ = Tick(buckets_.size() - 1);
+    heap_.reserve(buckets_.size());
     addChunk();
 }
 
@@ -83,8 +116,8 @@ EventQueue::appendToBucket(Bucket &b, Event *ev)
 void
 EventQueue::enqueue(Event *ev)
 {
-    if (ev->when < cal_base_ + kBuckets) {
-        appendToBucket(buckets_[ev->when & kBucketMask], ev);
+    if (ev->when < cal_base_ + buckets_.size()) {
+        appendToBucket(buckets_[ev->when & bucket_mask_], ev);
         ++cal_count_;
         if (ev->when < cal_scan_)
             cal_scan_ = ev->when;
@@ -112,11 +145,12 @@ EventQueue::advanceWindow(Tick new_base)
     cal_scan_ = new_base;
     // Heap pops arrive in (when, seq) order, so FIFO appends keep the
     // same-tick sequence ordering intact.
-    while (!heap_.empty() && heap_.front().when < cal_base_ + kBuckets) {
+    while (!heap_.empty() &&
+           heap_.front().when < cal_base_ + buckets_.size()) {
         std::pop_heap(heap_.begin(), heap_.end(), farLater);
         Event *ev = heap_.back().ev;
         heap_.pop_back();
-        appendToBucket(buckets_[ev->when & kBucketMask], ev);
+        appendToBucket(buckets_[ev->when & bucket_mask_], ev);
         ++cal_count_;
     }
 }
@@ -129,7 +163,7 @@ EventQueue::peekEarliestTick()
         return heap_.front().when;
     }
     Tick t = std::max(cal_scan_, now_);
-    while (buckets_[t & kBucketMask].head == nullptr)
+    while (buckets_[t & bucket_mask_].head == nullptr)
         ++t;
     cal_scan_ = t;
     return t;
@@ -141,7 +175,7 @@ EventQueue::popEarliest()
     if (cal_count_ == 0)
         advanceWindow(peekEarliestTick());
     const Tick t = peekEarliestTick();
-    Bucket &b = buckets_[t & kBucketMask];
+    Bucket &b = buckets_[t & bucket_mask_];
     Event *ev = b.head;
     b.head = ev->next;
     if (b.head == nullptr)

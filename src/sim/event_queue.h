@@ -49,7 +49,14 @@ class EventQueue
     /** Inline capacity of an event record's callback storage. */
     static constexpr std::size_t kInlineBytes = 48;
 
-    EventQueue();
+    /**
+     * @param window_ticks calendar width in ticks; rounded up to a
+     * power of two and clamped to [kMinWindow, kMaxWindow]. 0 selects
+     * the CAMLLM_EQ_WINDOW environment variable when set, else
+     * kDefaultWindow. Workloads whose inter-event gaps straddle the
+     * window pay heap traffic; a wider window trades memory for it.
+     */
+    explicit EventQueue(std::size_t window_ticks = 0);
     ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
@@ -145,10 +152,18 @@ class EventQueue
      */
     std::size_t poolAllocated() const { return pool_allocated_; }
 
+    /** Realized calendar width in ticks (power of two). */
+    std::size_t windowTicks() const { return buckets_.size(); }
+
+    static constexpr std::size_t kDefaultWindow = 1024;
+    static constexpr std::size_t kMinWindow = 16;
+    static constexpr std::size_t kMaxWindow = std::size_t(1) << 20;
+
+    /** Window a default-constructed queue uses: CAMLLM_EQ_WINDOW when
+     *  set to a valid count, otherwise kDefaultWindow. */
+    static std::size_t defaultWindow();
+
   private:
-    /** Calendar width in ticks; power of two for cheap indexing. */
-    static constexpr std::size_t kBuckets = 1024;
-    static constexpr Tick kBucketMask = Tick(kBuckets - 1);
     /** Event records per pool chunk. */
     static constexpr std::size_t kChunk = 512;
 
@@ -199,6 +214,7 @@ class EventQueue
     Event *popEarliest();
 
     std::vector<Bucket> buckets_;
+    Tick bucket_mask_ = 0; ///< buckets_.size() - 1 (power of two)
     std::size_t cal_count_ = 0;
     Tick cal_base_ = 0; ///< window start: [cal_base_, cal_base_+kBuckets)
     Tick cal_scan_ = 0; ///< resume point for the earliest-bucket scan

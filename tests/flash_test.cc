@@ -40,30 +40,59 @@ testParams()
     return p;
 }
 
-struct TestListener : ChannelEngine::Listener
+/**
+ * One connected flash client: records tagged completions. Pass the
+ * router of the channel under test (or FlashSystem::connect below).
+ */
+struct TestClient
 {
     EventQueue *eq = nullptr;
+    ClientId id = 0;
     std::map<std::uint64_t, std::uint64_t> rc_results;
     std::map<std::uint64_t, std::uint64_t> read_bytes;
     std::vector<Tick> rc_times;
     std::vector<Tick> read_times;
 
     void
-    onRcResult(std::uint64_t op) override
+    on(const Completion &c)
     {
-        ++rc_results[op];
-        if (eq)
-            rc_times.push_back(eq->now());
+        EXPECT_EQ(c.client, id);
+        if (c.kind == Completion::Kind::RcResult) {
+            ++rc_results[c.op_id];
+            if (eq)
+                rc_times.push_back(eq->now());
+        } else {
+            read_bytes[c.op_id] += c.bytes;
+            if (eq)
+                read_times.push_back(eq->now());
+        }
     }
 
     void
-    onReadDelivered(std::uint64_t op, std::uint32_t bytes) override
+    attach(CompletionRouter &router)
     {
-        read_bytes[op] += bytes;
-        if (eq)
-            read_times.push_back(eq->now());
+        id = router.connect([this](const Completion &c) { on(c); });
+    }
+
+    void
+    attach(FlashSystem &fs)
+    {
+        id = fs.connect([this](const Completion &c) { on(c); });
     }
 };
+
+/** A read-page job tagged for @p cl. */
+ReadPageJob
+readJob(const TestClient &cl, std::uint64_t op, std::uint32_t bytes,
+        bool sliced)
+{
+    ReadPageJob j;
+    j.client = cl.id;
+    j.op_id = op;
+    j.bytes = bytes;
+    j.sliced = sliced;
+    return j;
+}
 
 // --- geometry -------------------------------------------------------------
 
@@ -234,47 +263,55 @@ TEST(ChannelBus, TraceHookSeesGrants)
 TEST(ChannelEngine, ReadJobExactTiming)
 {
     EventQueue eq;
-    TestListener lis;
-    lis.eq = &eq;
-    ChannelEngine ce(eq, testParams(), lis);
-    ce.submitRead({7, 1024, true});
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.eq = &eq;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
+    ce.submitRead(readJob(cl, 7, 1024, true));
     eq.run();
     // tR + reg move + 4 slices of (10 + 256).
-    EXPECT_EQ(lis.read_times.at(0), 1000u + 50 + 4 * 266);
-    EXPECT_EQ(lis.read_bytes[7], 1024u);
+    EXPECT_EQ(cl.read_times.at(0), 1000u + 50 + 4 * 266);
+    EXPECT_EQ(cl.read_bytes[7], 1024u);
     EXPECT_EQ(ce.pagesRead(), 1u);
 }
 
 TEST(ChannelEngine, UnslicedReadIsOneGrant)
 {
     EventQueue eq;
-    TestListener lis;
-    lis.eq = &eq;
-    ChannelEngine ce(eq, testParams(), lis);
-    ce.submitRead({7, 1024, false});
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.eq = &eq;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
+    ce.submitRead(readJob(cl, 7, 1024, false));
     eq.run();
-    EXPECT_EQ(lis.read_times.at(0), 1000u + 50 + 10 + 1024);
+    EXPECT_EQ(cl.read_times.at(0), 1000u + 50 + 10 + 1024);
     EXPECT_EQ(ce.bus().grants(), 1u);
 }
 
 TEST(ChannelEngine, PartialPageReadFewerSlices)
 {
     EventQueue eq;
-    TestListener lis;
-    ChannelEngine ce(eq, testParams(), lis);
-    ce.submitRead({1, 300, true});
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
+    ce.submitRead(readJob(cl, 1, 300, true));
     eq.run();
     // ceil(300/256) = 2 slices.
     EXPECT_EQ(ce.bus().grants(), 2u);
-    EXPECT_EQ(lis.read_bytes[1], 300u);
+    EXPECT_EQ(cl.read_bytes[1], 300u);
 }
 
 TEST(ChannelEngine, RcTileExactTiming)
 {
     EventQueue eq;
-    TestListener lis;
-    lis.eq = &eq;
-    ChannelEngine ce(eq, testParams(), lis);
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.eq = &eq;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
     RcTileWork tile;
     tile.op_id = 3;
     tile.cores_used = 1;
@@ -286,17 +323,19 @@ TEST(ChannelEngine, RcTileExactTiming)
     // input grant [0,74]; array read [74,1074] (step 1 precedes
     // step 2); move [1074,1124]; compute [1124,1624]; result grant
     // [1624,1666].
-    EXPECT_EQ(lis.rc_times.at(0), 1666u);
-    EXPECT_EQ(lis.rc_results[3], 1u);
+    EXPECT_EQ(cl.rc_times.at(0), 1666u);
+    EXPECT_EQ(cl.rc_results[3], 1u);
     EXPECT_EQ(ce.pagesComputed(), 1u);
 }
 
 TEST(ChannelEngine, RcSteadyStateCadenceReadBound)
 {
     EventQueue eq;
-    TestListener lis;
-    lis.eq = &eq;
-    ChannelEngine ce(eq, testParams(), lis);
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.eq = &eq;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
     RcTileWork tile;
     tile.op_id = 1;
     tile.cores_used = 1;
@@ -306,17 +345,19 @@ TEST(ChannelEngine, RcSteadyStateCadenceReadBound)
     for (int i = 0; i < 4; ++i)
         ce.submitTile(tile);
     eq.run();
-    ASSERT_EQ(lis.rc_times.size(), 4u);
-    for (std::size_t i = 1; i < lis.rc_times.size(); ++i)
-        EXPECT_EQ(lis.rc_times[i] - lis.rc_times[i - 1], 1050u);
+    ASSERT_EQ(cl.rc_times.size(), 4u);
+    for (std::size_t i = 1; i < cl.rc_times.size(); ++i)
+        EXPECT_EQ(cl.rc_times[i] - cl.rc_times[i - 1], 1050u);
 }
 
 TEST(ChannelEngine, RcSteadyStateCadenceComputeBound)
 {
     EventQueue eq;
-    TestListener lis;
-    lis.eq = &eq;
-    ChannelEngine ce(eq, testParams(), lis);
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.eq = &eq;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
     RcTileWork tile;
     tile.op_id = 1;
     tile.cores_used = 1;
@@ -326,19 +367,21 @@ TEST(ChannelEngine, RcSteadyStateCadenceComputeBound)
     for (int i = 0; i < 4; ++i)
         ce.submitTile(tile);
     eq.run();
-    ASSERT_EQ(lis.rc_times.size(), 4u);
-    for (std::size_t i = 1; i < lis.rc_times.size(); ++i)
-        EXPECT_EQ(lis.rc_times[i] - lis.rc_times[i - 1], 2050u);
+    ASSERT_EQ(cl.rc_times.size(), 4u);
+    for (std::size_t i = 1; i < cl.rc_times.size(); ++i)
+        EXPECT_EQ(cl.rc_times[i] - cl.rc_times[i - 1], 2050u);
 }
 
 TEST(ChannelEngine, TileFansOutToAllCores)
 {
     EventQueue eq;
-    TestListener lis;
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.attach(router);
     FlashParams p = testParams();
     p.geometry.chips_per_channel = 2;
     p.geometry.dies_per_chip = 2; // 4 cores on the channel
-    ChannelEngine ce(eq, p, lis);
+    ChannelEngine ce(eq, p, router);
     RcTileWork tile;
     tile.op_id = 9;
     tile.cores_used = 4;
@@ -347,7 +390,7 @@ TEST(ChannelEngine, TileFansOutToAllCores)
     tile.compute_time = 500;
     ce.submitTile(tile);
     eq.run();
-    EXPECT_EQ(lis.rc_results[9], 4u);
+    EXPECT_EQ(cl.rc_results[9], 4u);
     EXPECT_EQ(ce.pagesComputed(), 4u);
     // One broadcast input grant + 4 result grants.
     EXPECT_EQ(ce.bus().grants(), 5u);
@@ -356,10 +399,12 @@ TEST(ChannelEngine, TileFansOutToAllCores)
 TEST(ChannelEngine, PartialTileUsesSubsetOfCores)
 {
     EventQueue eq;
-    TestListener lis;
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.attach(router);
     FlashParams p = testParams();
     p.geometry.chips_per_channel = 4; // 4 dies
-    ChannelEngine ce(eq, p, lis);
+    ChannelEngine ce(eq, p, router);
     RcTileWork tile;
     tile.op_id = 2;
     tile.cores_used = 3;
@@ -368,23 +413,60 @@ TEST(ChannelEngine, PartialTileUsesSubsetOfCores)
     tile.compute_time = 100;
     ce.submitTile(tile);
     eq.run();
-    EXPECT_EQ(lis.rc_results[2], 3u);
+    EXPECT_EQ(cl.rc_results[2], 3u);
     EXPECT_EQ(ce.die(3).pagesComputed(), 0u);
 }
 
 TEST(ChannelEngine, ReadsSpreadRoundRobinAcrossDies)
 {
     EventQueue eq;
-    TestListener lis;
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.attach(router);
     FlashParams p = testParams();
     p.geometry.chips_per_channel = 2;
     p.geometry.dies_per_chip = 2;
-    ChannelEngine ce(eq, p, lis);
+    ChannelEngine ce(eq, p, router);
     for (int i = 0; i < 8; ++i)
-        ce.submitRead({1, p.geometry.page_bytes, true});
+        ce.submitRead(readJob(cl, 1, p.geometry.page_bytes, true));
     eq.run();
     for (std::size_t d = 0; d < ce.dieCount(); ++d)
         EXPECT_EQ(ce.die(d).pagesRead(), 2u);
+}
+
+TEST(ChannelEngine, InterleavesTwoClientsWithTaggedCompletions)
+{
+    // Two decode streams share the one channel; each must see exactly
+    // its own completions, tagged with its own op ids.
+    EventQueue eq;
+    CompletionRouter router(eq);
+    TestClient a, b;
+    a.attach(router);
+    b.attach(router);
+    ChannelEngine ce(eq, testParams(), router);
+    RcTileWork tile;
+    tile.cores_used = 1;
+    tile.input_bytes = 8;
+    tile.out_bytes_per_core = 8;
+    tile.compute_time = 100;
+    for (int i = 0; i < 3; ++i) {
+        tile.client = a.id;
+        tile.op_id = 10 + i;
+        ce.submitTile(tile);
+        tile.client = b.id;
+        tile.op_id = 20 + i;
+        ce.submitTile(tile);
+        ce.submitRead(readJob(b, 33, 512, true));
+    }
+    eq.run();
+    EXPECT_EQ(a.rc_results.size(), 3u);
+    EXPECT_EQ(b.rc_results.size(), 3u);
+    EXPECT_EQ(a.read_bytes.size(), 0u);
+    EXPECT_EQ(b.read_bytes[33], 3u * 512);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(a.rc_results[10 + i], 1u);
+        EXPECT_EQ(b.rc_results[20 + i], 1u);
+    }
 }
 
 TEST(ChannelEngine, ReadsDoNotStallRcStream)
@@ -396,9 +478,11 @@ TEST(ChannelEngine, ReadsDoNotStallRcStream)
 
     auto run_rc = [&](bool with_reads) {
         EventQueue eq;
-        TestListener lis;
-        lis.eq = &eq;
-        ChannelEngine ce(eq, p, lis);
+        CompletionRouter router(eq);
+        TestClient cl;
+        cl.eq = &eq;
+        cl.attach(router);
+        ChannelEngine ce(eq, p, router);
         RcTileWork tile;
         tile.op_id = 1;
         tile.cores_used = 2;
@@ -409,9 +493,10 @@ TEST(ChannelEngine, ReadsDoNotStallRcStream)
             ce.submitTile(tile);
         if (with_reads)
             for (int i = 0; i < 40; ++i)
-                ce.submitRead({2, p.geometry.page_bytes, true});
+                ce.submitRead(readJob(cl, 2, p.geometry.page_bytes,
+                                      true));
         eq.run();
-        return lis.rc_times.back();
+        return cl.rc_times.back();
     };
 
     const Tick alone = run_rc(false);
@@ -432,9 +517,11 @@ TEST(ChannelEngine, UnslicedReadsDoStallRcStream)
 
     auto run_rc = [&](bool slice_control) {
         EventQueue eq;
-        TestListener lis;
-        lis.eq = &eq;
-        ChannelEngine ce(eq, p, lis, 3, slice_control);
+        CompletionRouter router(eq);
+        TestClient cl;
+        cl.eq = &eq;
+        cl.attach(router);
+        ChannelEngine ce(eq, p, router, 3, slice_control);
         RcTileWork tile;
         tile.op_id = 1;
         tile.cores_used = 2;
@@ -444,9 +531,10 @@ TEST(ChannelEngine, UnslicedReadsDoStallRcStream)
         for (int i = 0; i < 10; ++i)
             ce.submitTile(tile);
         for (int i = 0; i < 40; ++i)
-            ce.submitRead({2, p.geometry.page_bytes, slice_control});
+            ce.submitRead(readJob(cl, 2, p.geometry.page_bytes,
+                                  slice_control));
         eq.run();
-        return lis.rc_times.back();
+        return cl.rc_times.back();
     };
 
     const Tick with_slice = run_rc(true);
@@ -457,8 +545,10 @@ TEST(ChannelEngine, UnslicedReadsDoStallRcStream)
 TEST(ChannelEngine, TileWindowBoundsInFlightTiles)
 {
     EventQueue eq;
-    TestListener lis;
-    ChannelEngine ce(eq, testParams(), lis, 2);
+    CompletionRouter router(eq);
+    TestClient cl;
+    cl.attach(router);
+    ChannelEngine ce(eq, testParams(), router, 2);
     RcTileWork tile;
     tile.op_id = 1;
     tile.cores_used = 1;
@@ -470,7 +560,7 @@ TEST(ChannelEngine, TileWindowBoundsInFlightTiles)
     EXPECT_EQ(ce.tilesInFlight(), 6u);
     eq.run();
     EXPECT_EQ(ce.tilesInFlight(), 0u);
-    EXPECT_EQ(lis.rc_results[1], 6u);
+    EXPECT_EQ(cl.rc_results[1], 6u);
 }
 
 // --- flash system -----------------------------------------------------------
@@ -478,11 +568,13 @@ TEST(ChannelEngine, TileWindowBoundsInFlightTiles)
 TEST(FlashSystem, RoutesWorkToChannels)
 {
     EventQueue eq;
-    TestListener lis;
     FlashParams p = testParams();
     p.geometry.channels = 4;
-    FlashSystem fs(eq, p, lis);
+    FlashSystem fs(eq, p);
+    TestClient cl;
+    cl.attach(fs);
     RcTileWork tile;
+    tile.client = cl.id;
     tile.op_id = 5;
     tile.cores_used = 1;
     tile.input_bytes = 8;
@@ -490,10 +582,10 @@ TEST(FlashSystem, RoutesWorkToChannels)
     tile.compute_time = 100;
     for (std::uint32_t c = 0; c < 4; ++c)
         fs.submitTile(c, tile);
-    fs.submitRead(2, {6, 512, true});
+    fs.submitRead(2, readJob(cl, 6, 512, true));
     eq.run();
-    EXPECT_EQ(lis.rc_results[5], 4u);
-    EXPECT_EQ(lis.read_bytes[6], 512u);
+    EXPECT_EQ(cl.rc_results[5], 4u);
+    EXPECT_EQ(cl.read_bytes[6], 512u);
     EXPECT_EQ(fs.pagesComputed(), 4u);
     EXPECT_EQ(fs.pagesRead(), 1u);
     EXPECT_EQ(fs.arrayReads(), 5u);
@@ -502,17 +594,19 @@ TEST(FlashSystem, RoutesWorkToChannels)
 TEST(FlashSystem, ChannelByteAccounting)
 {
     EventQueue eq;
-    TestListener lis;
     FlashParams p = testParams();
-    FlashSystem fs(eq, p, lis);
+    FlashSystem fs(eq, p);
+    TestClient cl;
+    cl.attach(fs);
     RcTileWork tile;
+    tile.client = cl.id;
     tile.op_id = 1;
     tile.cores_used = 1;
     tile.input_bytes = 100;
     tile.out_bytes_per_core = 20;
     tile.compute_time = 10;
     fs.submitTile(0, tile);
-    fs.submitRead(0, {2, 512, true});
+    fs.submitRead(0, readJob(cl, 2, 512, true));
     eq.run();
     EXPECT_EQ(fs.channelBytesHigh(), 120u);
     EXPECT_EQ(fs.channelBytesLow(), 512u);
@@ -522,11 +616,12 @@ TEST(FlashSystem, ChannelByteAccounting)
 TEST(FlashSystem, UtilizationBetweenZeroAndOne)
 {
     EventQueue eq;
-    TestListener lis;
     FlashParams p = testParams();
-    FlashSystem fs(eq, p, lis);
+    FlashSystem fs(eq, p);
+    TestClient cl;
+    cl.attach(fs);
     for (int i = 0; i < 5; ++i)
-        fs.submitRead(0, {1, 1024, true});
+        fs.submitRead(0, readJob(cl, 1, 1024, true));
     eq.run();
     double u = fs.avgChannelUtilization(eq.now());
     EXPECT_GT(u, 0.0);

@@ -215,6 +215,33 @@ TEST(OpGraph, SampledGraphScalesLinearly)
               (g2.totalWeightElems() - head) / 2);
 }
 
+// Rebinding a decode graph to a new context length must reproduce a
+// fresh build field-for-field (the batch engine reinstances a
+// request's graph per token this way).
+TEST(OpGraph, RebindSeqMatchesFreshBuild)
+{
+    for (const ModelConfig &m : {opt6_7b(), llama2_70b()}) {
+        const QuantSpec q = QuantSpec::of(QuantMode::W8A8);
+        DecodeGraph g = buildDecodeGraph(m, 512, q, 4);
+        rebindDecodeGraphSeq(g, m, q, 777);
+        const DecodeGraph fresh = buildDecodeGraph(m, 777, q, 4);
+        ASSERT_EQ(g.ops.size(), fresh.ops.size());
+        for (std::size_t i = 0; i < g.ops.size(); ++i) {
+            const Op &a = g.ops[i];
+            const Op &b = fresh.ops[i];
+            EXPECT_EQ(a.kind, b.kind) << i;
+            EXPECT_EQ(a.name, b.name) << i;
+            EXPECT_EQ(a.rows, b.rows) << i;
+            EXPECT_EQ(a.cols, b.cols) << i;
+            EXPECT_EQ(a.kv_bytes, b.kv_bytes) << i;
+            EXPECT_EQ(a.flops, b.flops) << i;
+            EXPECT_EQ(a.sfu_elems, b.sfu_elems) << i;
+            EXPECT_EQ(a.npu_compute_scale, b.npu_compute_scale) << i;
+            EXPECT_EQ(a.deps, b.deps) << i;
+        }
+    }
+}
+
 // --- functional kernels -------------------------------------------------------
 
 TEST(Kernels, GemvAgainstManualReference)
@@ -254,6 +281,63 @@ TEST(Kernels, BlockedGemvBitExactVsScalarReference)
             ASSERT_EQ(blocked[r], scalar[r])
                 << rows << "x" << cols << " row " << r;
     }
+}
+
+// The fast GeMV (AVX2 when available, else the blocked kernel)
+// reassociates the reduction, so it is held to a relative tolerance
+// against a double-precision reference rather than bit-exactness.
+TEST(Kernels, FastGemvMatchesDoubleReferenceWithinTolerance)
+{
+    Rng rng(777);
+    const std::pair<std::uint32_t, std::uint32_t> shapes[] = {
+        {1, 1},   {3, 7},    {4, 16},   {5, 33},
+        {8, 64},  {61, 127}, {128, 96}, {200, 333},
+    };
+    for (const auto &[rows, cols] : shapes) {
+        QTensor w(rows, cols, 0.0375f);
+        for (auto &v : w.data)
+            v = std::int8_t(std::int32_t(rng.below(255)) - 127);
+        std::vector<float> x(cols);
+        for (auto &v : x)
+            v = float(std::int32_t(rng.below(2001)) - 1000) / 250.0f;
+        std::vector<float> fast(rows);
+        gemvFast(w, x, fast);
+        for (std::uint32_t r = 0; r < rows; ++r) {
+            double ref = 0.0;
+            double mag = 0.0;
+            for (std::uint32_t c = 0; c < cols; ++c) {
+                const double t =
+                    double(w.data[std::size_t(r) * cols + c]) *
+                    double(x[c]);
+                ref += t;
+                mag += std::abs(t);
+            }
+            ref *= double(w.scale);
+            mag *= double(w.scale);
+            const double tol = 1e-5 * std::max(1.0, mag);
+            EXPECT_NEAR(double(fast[r]), ref, tol)
+                << rows << "x" << cols << " row " << r;
+        }
+    }
+}
+
+// Whatever path dispatch picks, the exact kernels stay the reference:
+// fast output must be element-wise close to the bit-exact blocked one.
+TEST(Kernels, FastGemvCloseToExactKernels)
+{
+    Rng rng(31337);
+    QTensor w(96, 257, 0.02f);
+    for (auto &v : w.data)
+        v = std::int8_t(std::int32_t(rng.below(255)) - 127);
+    std::vector<float> x(257);
+    for (auto &v : x)
+        v = float(std::int32_t(rng.below(2001)) - 1000) / 500.0f;
+    std::vector<float> fast(96), exact(96);
+    gemvFast(w, x, fast);
+    gemv(w, x, exact);
+    for (std::uint32_t r = 0; r < 96; ++r)
+        EXPECT_NEAR(fast[r], exact[r],
+                    1e-4f * std::max(1.0f, std::abs(exact[r])));
 }
 
 TEST(Kernels, LayerNormZeroMeanUnitVar)

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -212,6 +213,71 @@ TEST(EventQueue, OversizedCallbacksExecuteAndDestroy)
     eq.run();
     EXPECT_EQ(sum, 49u);
     EXPECT_TRUE(watch.expired()); // capture destroyed after execution
+}
+
+// --- configurable calendar window ---------------------------------------
+
+TEST(EventQueueWindow, DefaultAndRounding)
+{
+    EXPECT_EQ(EventQueue().windowTicks(), EventQueue::kDefaultWindow);
+    EXPECT_EQ(EventQueue(100).windowTicks(), 128u);
+    EXPECT_EQ(EventQueue(64).windowTicks(), 64u);
+    // Clamped to the minimum width.
+    EXPECT_EQ(EventQueue(1).windowTicks(), EventQueue::kMinWindow);
+}
+
+TEST(EventQueueWindow, EnvVarSelectsDefault)
+{
+    setenv("CAMLLM_EQ_WINDOW", "256", 1);
+    EXPECT_EQ(EventQueue().windowTicks(), 256u);
+    // An explicit width still wins over the environment.
+    EXPECT_EQ(EventQueue(32).windowTicks(), 32u);
+    unsetenv("CAMLLM_EQ_WINDOW");
+    EXPECT_EQ(EventQueue().windowTicks(), EventQueue::kDefaultWindow);
+}
+
+// Events repeatedly straddling a tiny calendar window (some in the
+// current window, some migrating through the far-future heap) must
+// still execute in exact (tick, insertion) order.
+TEST(EventQueueWindow, StraddlingEventsKeepOrderAcrossBoundary)
+{
+    Rng rng(99);
+    EventQueue eq(16);
+    ASSERT_EQ(eq.windowTicks(), 16u);
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::pair<Tick, int>> want;
+    for (int i = 0; i < 4000; ++i) {
+        // Dense ticks spanning several windows plus far outliers.
+        Tick when = (i % 5 == 0) ? Tick(1000 + rng.below(500))
+                                 : Tick(rng.below(80));
+        want.emplace_back(when, i);
+        eq.schedule(when, [&fired, when, i] {
+            fired.emplace_back(when, i);
+        });
+    }
+    eq.run();
+    std::stable_sort(want.begin(), want.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(fired, want);
+}
+
+// Nested scheduling exactly at the window edge: an event at the last
+// in-window tick schedules one just past the (advanced) boundary and
+// one far beyond it.
+TEST(EventQueueWindow, NestedSchedulingAcrossBoundary)
+{
+    EventQueue eq(16);
+    std::vector<Tick> times;
+    eq.schedule(15, [&] {
+        times.push_back(eq.now());
+        eq.schedule(16, [&] { times.push_back(eq.now()); });
+        eq.schedule(500, [&] { times.push_back(eq.now()); });
+    });
+    eq.schedule(31, [&] { times.push_back(eq.now()); });
+    eq.run();
+    EXPECT_EQ(times, (std::vector<Tick>{15, 16, 31, 500}));
 }
 
 // Same-tick ordering must hold across the calendar/heap boundary:

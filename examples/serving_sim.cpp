@@ -1,20 +1,26 @@
 /**
  * @file
- * Serving scenario: an on-device assistant burst.
+ * Serving scenario: an on-device assistant under load.
  *
- * Twelve requests land nearly at once — short chat turns, a couple of
- * long-document questions, a code-completion tail — and the engine
- * serves them with continuous batching at a batch limit of 4: a
- * retired request's slot is refilled at the same simulated tick, and
- * every stream's KV cache grows as its reply decodes. Compares the
- * batched service against strictly serial service of the same queue.
+ * Part 1 — burst: twelve warm-context requests land at once and the
+ * engine serves them with continuous batching at a batch limit of 4,
+ * compared against strictly serial service of the same queue.
+ *
+ * Part 2 — arrivals: chat turns with real prompts arrive as a seeded
+ * Poisson process and the unified scheduler serves them with chunked
+ * prefill interleaved into in-flight decode on a contended NPU,
+ * compared against FCFS whole-prompt prefill. Reports the numbers an
+ * on-device assistant is actually judged by: p50/p95/p99 time to
+ * first token and time between tokens.
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "core/arrivals.h"
 #include "core/batch_engine.h"
 #include "core/presets.h"
+#include "core/scheduler.h"
 #include "llm/model_config.h"
 
 using namespace camllm;
@@ -71,6 +77,61 @@ main()
                 serial.finite_run_tokens_per_s > 0.0
                     ? batched.finite_run_tokens_per_s /
                           serial.finite_run_tokens_per_s
+                    : 0.0);
+
+    // --- part 2: Poisson arrivals with real prompts ------------------
+    // Chat turns (short prompt, short reply) with the occasional long
+    // document; one request every ~2.5 simulated seconds on average.
+    const std::vector<RequestShape> shapes = {
+        {384, 3}, {768, 2}, {1536, 1}};
+    const ArrivalTrace trace =
+        ArrivalTrace::poisson(0.4, 8, /*seed=*/2024, shapes);
+
+    const Scheduler sched(cfg, model);
+    const auto serveWith = [&](SchedPolicy policy) {
+        SchedOptions opt;
+        opt.max_batch = 4;
+        opt.policy = policy;
+        opt.prefill_chunk = 256;
+        opt.npu_contention = true;
+        return sched.serve(trace, opt);
+    };
+    const ServeStats fcfs =
+        serveWith(SchedPolicy::DecodeFirstFcfs);
+    const ServeStats chunked =
+        serveWith(SchedPolicy::ChunkedInterleave);
+
+    std::printf("\n--- Poisson arrivals: %zu requests, batch 4, "
+                "contended NPU ---\n\n",
+                trace.size());
+    std::printf("%4s %8s %7s %12s %12s %11s %13s\n", "req", "prompt",
+                "reply", "arrive (ms)", "admit (ms)", "TTFT (ms)",
+                "mean TBT (ms)");
+    for (const ServeRequestStats &r : chunked.requests)
+        std::printf("%4u %8u %7u %12.1f %12.1f %11.0f %13.0f\n",
+                    r.id, r.prompt, r.decode_tokens,
+                    double(r.arrival) / 1e6,
+                    double(r.admit_tick) / 1e6, r.ttft_ms,
+                    r.mean_tbt_ms);
+
+    std::printf("\n%-26s %14s %14s\n", "", "chunked 256",
+                "fcfs whole");
+    std::printf("%-26s %13.0fms %13.0fms\n", "TTFT p50",
+                chunked.ttft.p50_ms, fcfs.ttft.p50_ms);
+    std::printf("%-26s %13.0fms %13.0fms\n", "TTFT p95",
+                chunked.ttft.p95_ms, fcfs.ttft.p95_ms);
+    std::printf("%-26s %13.0fms %13.0fms\n", "TBT p95",
+                chunked.tbt.p95_ms, fcfs.tbt.p95_ms);
+    std::printf("%-26s %13.1f%% %13.1f%%\n", "NPU array util",
+                100.0 * chunked.npu_array_util,
+                100.0 * fcfs.npu_array_util);
+    std::printf("%-26s %14.2f %14.2f\n", "finite-run tok/s",
+                chunked.finite_run_tokens_per_s,
+                fcfs.finite_run_tokens_per_s);
+    std::printf("\nchunked prefill interleaving kept p95 TBT %.1fx "
+                "lower than whole-prompt FCFS.\n",
+                chunked.tbt.p95_ms > 0.0
+                    ? fcfs.tbt.p95_ms / chunked.tbt.p95_ms
                     : 0.0);
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 namespace camllm {
 
@@ -57,6 +58,61 @@ class Accumulator
     double sum_sq_ = 0.0;
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Sample set with nearest-rank percentiles, for latency SLO reporting
+ * (TTFT / TBT distributions). Keeps every sample; percentile() sorts
+ * lazily, so interleave add() and queries freely.
+ */
+class SampleSet
+{
+  public:
+    void
+    add(double v)
+    {
+        v_.push_back(v);
+        sorted_ = false;
+    }
+
+    std::size_t count() const { return v_.size(); }
+
+    double
+    mean() const
+    {
+        if (v_.empty())
+            return 0.0;
+        double s = 0.0;
+        for (double v : v_)
+            s += v;
+        return s / double(v_.size());
+    }
+
+    double
+    max() const
+    {
+        return v_.empty() ? 0.0 : *std::max_element(v_.begin(), v_.end());
+    }
+
+    /** Nearest-rank percentile; @p p in [0, 100]. Empty set: 0. */
+    double
+    percentile(double p) const
+    {
+        if (v_.empty())
+            return 0.0;
+        if (!sorted_) {
+            std::sort(v_.begin(), v_.end());
+            sorted_ = true;
+        }
+        const double rank = std::ceil(p / 100.0 * double(v_.size()));
+        std::size_t idx = rank <= 1.0 ? 0 : std::size_t(rank) - 1;
+        idx = std::min(idx, v_.size() - 1);
+        return v_[idx];
+    }
+
+  private:
+    mutable std::vector<double> v_;
+    mutable bool sorted_ = false;
 };
 
 /**

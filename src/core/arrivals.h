@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Request arrival processes feeding the serving scheduler.
+ *
+ * A trace is an arrival-time-ordered list of ServeRequests. Traces
+ * come from three places: a Poisson process (seeded, bit-reproducible
+ * via common/rng.h), a replay file, or an explicit burst at t = 0.
+ * Arrival ticks are on the simulation clock (sampled-layer time), so
+ * a Poisson rate is "requests per simulated second of sampled-layer
+ * service" — the knob that moves a scenario between underload and
+ * saturation for SLO capacity planning.
+ */
+
+#ifndef CAMLLM_CORE_ARRIVALS_H
+#define CAMLLM_CORE_ARRIVALS_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace camllm::core {
+
+/** One request as the serving scheduler sees it. */
+struct ServeRequest
+{
+    /** Prompt tokens to prefill; 0 means the KV cache is already warm
+     *  (the PR 2 decode-only request shape). */
+    std::uint32_t prompt = 0;
+
+    /** KV entries cached before this request's prompt (decode-only
+     *  requests put their whole context here). */
+    std::uint32_t context = 0;
+
+    /** Decode steps after the first emitted token. */
+    std::uint32_t decode_tokens = 1;
+
+    /** Sim-clock arrival tick. */
+    Tick arrival = 0;
+};
+
+/** A (prompt, decode_tokens) request shape for synthetic traces. */
+using RequestShape = std::pair<std::uint32_t, std::uint32_t>;
+
+/** Arrival-ordered request trace. */
+class ArrivalTrace
+{
+  public:
+    ArrivalTrace() = default;
+
+    /**
+     * Seeded Poisson process: exponential inter-arrival times at
+     * @p rate_per_s requests per simulated second, each request's
+     * shape drawn uniformly from @p shapes. Identical seeds replay
+     * bit-identical traces on every platform (xoshiro256**, portable
+     * distributions).
+     */
+    static ArrivalTrace poisson(double rate_per_s,
+                                std::size_t n_requests,
+                                std::uint64_t seed,
+                                const std::vector<RequestShape> &shapes);
+
+    /**
+     * Replay a trace file: one request per non-comment line,
+     * whitespace-separated `arrival_us prompt decode_tokens
+     * [context]`. Lines starting with '#' are skipped. Arrivals must
+     * be non-decreasing.
+     */
+    static ArrivalTrace fromFile(const std::string &path);
+
+    /** Every request landing at t = 0 (a burst / fixed queue). */
+    static ArrivalTrace burst(std::vector<ServeRequest> requests);
+
+    const std::vector<ServeRequest> &requests() const { return reqs_; }
+    std::size_t size() const { return reqs_.size(); }
+    bool empty() const { return reqs_.empty(); }
+
+  private:
+    std::vector<ServeRequest> reqs_;
+};
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_ARRIVALS_H

@@ -1,29 +1,18 @@
 #include "batch_engine.h"
 
-#include <algorithm>
-#include <functional>
-
 #include "common/logging.h"
-#include "core/decode_stream.h"
-#include "flash/flash_system.h"
-#include "npu/dram.h"
-#include "sim/event_queue.h"
+#include "core/scheduler.h"
 
 namespace camllm::core {
 
 BatchEngine::BatchEngine(const CamConfig &config,
                          const llm::ModelConfig &model)
-    : config_(config), model_(model)
+    : config_(config), model_(model),
+      scheduler_(std::make_unique<Scheduler>(config, model))
 {
-    if (!config_.flash.valid() || !config_.npu.valid())
-        fatal("invalid Cambricon-LLM configuration '%s'",
-              config_.name.c_str());
-    if (!model_.valid())
-        fatal("invalid model configuration '%s'", model_.name.c_str());
-    plan_cache_ = std::make_unique<PlanCache>(
-        config_.flash, llm::QuantSpec::of(config_.quant),
-        config_.tilingOptions());
 }
+
+BatchEngine::~BatchEngine() = default;
 
 BatchStats
 BatchEngine::run(const std::vector<RequestSpec> &requests,
@@ -34,171 +23,51 @@ BatchEngine::run(const std::vector<RequestSpec> &requests,
     for (const RequestSpec &r : requests)
         CAMLLM_ASSERT(r.context >= 1 && r.decode_tokens >= 1);
 
-    // Shared device, same construction order as the single-request
-    // engine so a batch of one replays its exact event sequence.
-    EventQueue eq;
-    npu::DramModel dram(eq, config_.npu);
-    flash::FlashSystem fs(eq, config_.flash, config_.tile_window,
-                          config_.slicing);
+    // Decode-only FCFS with free NPU arbitration is exactly the
+    // scheduler's compatibility mode: it replays the PR 2 BatchEngine
+    // event sequence bit-identically (enforced by tests against
+    // recorded golden stats).
+    std::vector<ServeRequest> sreqs;
+    sreqs.reserve(requests.size());
+    for (const RequestSpec &r : requests) {
+        ServeRequest s;
+        s.prompt = 0;
+        s.context = r.context;
+        s.decode_tokens = r.decode_tokens;
+        s.arrival = 0;
+        sreqs.push_back(s);
+    }
+    SchedOptions opt;
+    opt.max_batch = max_batch;
+    opt.policy = SchedPolicy::DecodeFirstFcfs;
+    opt.npu_contention = false;
+    opt.admission_stagger = admission_stagger;
 
-    struct ReqRun
-    {
-        RequestSpec spec;
-        CamConfig cfg;               ///< seq_len rebound per token
-        std::unique_ptr<DecodeStream> stream;
-        RequestStats stats;
-        std::uint32_t tokens_done = 0;
-        Tick token_start = 0;
-        Tick sim_token_sum = 0; ///< simulated (un-extrapolated) time
-        bool finished = false;
-    };
-
-    std::vector<ReqRun> runs(requests.size());
-    std::size_t next_admit = 0;
-    std::uint32_t active = 0;
-    std::uint64_t finished = 0;
-
-    DecodeStream::Env base;
-    base.model = &model_;
-    base.plans = plan_cache_.get();
-    base.eq = &eq;
-    base.dram = &dram;
-    base.fs = &fs;
-
-    // The NPU weight-staging buffer is one physical resource; divide
-    // the prefetch window across however many streams are active.
-    const auto rebudget = [&] {
-        const std::uint64_t budget =
-            config_.npu.weight_buffer_bytes /
-            std::max<std::uint32_t>(1, active);
-        for (ReqRun &r : runs)
-            if (r.stream && !r.finished)
-                r.stream->setReadBudget(budget);
-    };
-
-    std::function<void(std::size_t)> startNext;
-    std::function<void()> admit;
-
-    const auto onTokenDone = [&](std::size_t i, const TokenStats &s) {
-        ReqRun &r = runs[i];
-        r.sim_token_sum += eq.now() - r.token_start;
-        r.stats.total_token_time += s.token_time;
-        if (r.tokens_done == 0)
-            r.stats.first_token = s;
-        ++r.tokens_done;
-        if (r.tokens_done < r.spec.decode_tokens) {
-            startNext(i); // continuous: no batch barrier
-            return;
-        }
-        r.finished = true;
-        r.stats.finish_tick = eq.now();
-        ++finished;
-        CAMLLM_ASSERT(active > 0);
-        --active;
-        admit(); // refill the slot at the same tick
-        rebudget();
-    };
-
-    startNext = [&](std::size_t i) {
-        ReqRun &r = runs[i];
-        // The request's KV stream grows with every decoded token.
-        const std::uint32_t seq = r.spec.context + r.tokens_done;
-        r.cfg.seq_len = seq;
-        r.token_start = eq.now();
-        r.stream->startToken(seq, 0, [&, i](const TokenStats &s) {
-            onTokenDone(i, s);
-        });
-    };
-
-    bool initial_wave = true;
-    admit = [&] {
-        std::vector<std::size_t> started;
-        while (active < max_batch && next_admit < runs.size()) {
-            const std::size_t i = next_admit++;
-            ReqRun &r = runs[i];
-            r.spec = requests[i];
-            r.cfg = config_;
-            r.stats.id = std::uint32_t(i);
-            r.stats.context = r.spec.context;
-            r.stats.decode_tokens = r.spec.decode_tokens;
-            DecodeStream::Env env = base;
-            env.cfg = &r.cfg;
-            r.stream = std::make_unique<DecodeStream>(env);
-            ++active;
-            started.push_back(i);
-        }
-        if (started.empty())
-            return;
-        // Budget every stream for the new concurrency BEFORE any new
-        // stream issues work, so no first token prefetches with more
-        // than its share of the staging buffer.
-        rebudget();
-        for (std::size_t i : started) {
-            ReqRun &r = runs[i];
-            // Stagger only the initial wave (i * stagger ticks); the
-            // slot is held from admission, the stream just waits for
-            // its start slot. Refills inherit the wave's phase offset
-            // naturally. A delay of zero starts synchronously, which
-            // keeps the batch-of-one event sequence identical to the
-            // single-stream engine's.
-            const Tick start =
-                initial_wave ? Tick(i) * admission_stagger : eq.now();
-            r.stats.admit_tick = start;
-            if (start == eq.now())
-                startNext(i);
-            else
-                eq.schedule(start, [&, i] { startNext(i); });
-        }
-    };
-
-    admit();
-    initial_wave = false;
-    eq.run();
-    CAMLLM_ASSERT(finished == runs.size(),
-                  "only %llu of %zu requests completed",
-                  (unsigned long long)finished, runs.size());
+    const ServeStats s = scheduler_->serve(sreqs, opt);
 
     BatchStats out;
-    out.max_batch = max_batch;
-    out.sim_makespan = eq.now();
-    out.requests.reserve(runs.size());
-
-    Tick sim_sum = 0, ext_sum = 0;
-    double rate_sum = 0.0, rate_sq_sum = 0.0;
-    for (ReqRun &r : runs) {
-        RequestStats &st = r.stats;
-        st.mean_token_time = st.total_token_time / st.decode_tokens;
-        st.tokens_per_s =
-            st.total_token_time > 0
-                ? double(st.decode_tokens) * double(kSec) /
-                      double(st.total_token_time)
-                : 0.0;
-        out.total_tokens += st.decode_tokens;
-        sim_sum += r.sim_token_sum;
-        ext_sum += st.total_token_time;
-        rate_sum += st.tokens_per_s;
-        rate_sq_sum += st.tokens_per_s * st.tokens_per_s;
+    out.max_batch = s.max_batch;
+    out.total_tokens = s.total_tokens;
+    out.sim_makespan = s.sim_makespan;
+    out.extrapolation_factor = s.extrapolation_factor;
+    out.aggregate_tokens_per_s = s.aggregate_tokens_per_s;
+    out.finite_run_tokens_per_s = s.finite_run_tokens_per_s;
+    out.avg_channel_util = s.avg_channel_util;
+    out.fairness_jain = s.fairness_jain;
+    out.requests.reserve(s.requests.size());
+    for (const ServeRequestStats &r : s.requests) {
+        RequestStats st;
+        st.id = r.id;
+        st.context = r.context;
+        st.decode_tokens = r.decode_tokens;
+        st.admit_tick = r.admit_tick;
+        st.finish_tick = r.finish_tick;
+        st.first_token = r.first_token;
+        st.total_token_time = r.total_token_time;
+        st.mean_token_time = r.mean_token_time;
+        st.tokens_per_s = r.tokens_per_s;
         out.requests.push_back(std::move(st));
     }
-
-    out.extrapolation_factor =
-        sim_sum > 0 ? double(ext_sum) / double(sim_sum) : 1.0;
-    const double real_makespan =
-        double(out.sim_makespan) * out.extrapolation_factor;
-    out.finite_run_tokens_per_s =
-        real_makespan > 0.0
-            ? double(out.total_tokens) * double(kSec) / real_makespan
-            : 0.0;
-    const double concurrency =
-        double(std::min<std::size_t>(max_batch, out.requests.size()));
-    out.aggregate_tokens_per_s =
-        concurrency * rate_sum / double(out.requests.size());
-    out.avg_channel_util = fs.avgChannelUtilization(out.sim_makespan);
-    const std::size_t n = out.requests.size();
-    out.fairness_jain =
-        rate_sq_sum > 0.0
-            ? (rate_sum * rate_sum) / (double(n) * rate_sq_sum)
-            : 1.0;
     return out;
 }
 

@@ -98,11 +98,23 @@ struct BatchStats
     double fairness_jain = 1.0;
 };
 
-/** Multi-request continuous-batching co-simulation. */
+class Scheduler;
+
+/**
+ * Multi-request continuous-batching co-simulation.
+ *
+ * Since the serving-scheduler refactor this is a compatibility facade
+ * over core::Scheduler: run() is decode-only FCFS scheduling with
+ * free NPU arbitration, which reproduces the original BatchEngine
+ * event sequence bit-identically. New code that wants prefill
+ * admission, arrival traces, NPU contention or SLO percentiles should
+ * use core::Scheduler directly.
+ */
 class BatchEngine
 {
   public:
     BatchEngine(const CamConfig &config, const llm::ModelConfig &model);
+    ~BatchEngine();
 
     /**
      * Serve @p requests with at most @p max_batch concurrently active
@@ -127,7 +139,7 @@ class BatchEngine
   private:
     CamConfig config_;
     llm::ModelConfig model_;
-    std::unique_ptr<PlanCache> plan_cache_;
+    std::unique_ptr<Scheduler> scheduler_;
 };
 
 } // namespace camllm::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "core/npu_arbiter.h"
 
 namespace camllm::core {
 
@@ -94,16 +95,43 @@ DecodeStream::onCompletion(const flash::Completion &c)
     maybeCompleteGemv(std::uint32_t(c.op_id));
 }
 
+bool
+DecodeStream::contendedNpu() const
+{
+    return env_.npu && env_.npu->contended();
+}
+
 void
 DecodeStream::startToken(std::uint32_t seq, std::uint32_t prefill_tokens,
                          TokenDone done)
+{
+    seq_ = seq;
+    prefill_tokens_ = prefill_tokens;
+    kv_base_ = 0;
+    last_chunk_ = true;
+    beginUnit(std::move(done));
+}
+
+void
+DecodeStream::startPrefillChunk(std::uint32_t chunk_len,
+                                std::uint32_t kv_base, bool last_chunk,
+                                TokenDone done)
+{
+    CAMLLM_ASSERT(chunk_len > 0);
+    seq_ = kv_base + chunk_len; // context the chunk's attention spans
+    prefill_tokens_ = chunk_len;
+    kv_base_ = kv_base;
+    last_chunk_ = last_chunk;
+    beginUnit(std::move(done));
+}
+
+void
+DecodeStream::beginUnit(TokenDone done)
 {
     CAMLLM_ASSERT(done_ops_all_, "token already in flight");
     const CamConfig &cfg = *env_.cfg;
     const llm::ModelConfig &model = *env_.model;
 
-    seq_ = seq;
-    prefill_tokens_ = prefill_tokens;
     done_ = std::move(done);
     done_ops_all_ = false;
     token_start_ = env_.eq->now();
@@ -115,8 +143,9 @@ DecodeStream::startToken(std::uint32_t seq, std::uint32_t prefill_tokens,
         CAMLLM_ASSERT(layers >= 3,
                       "need >= 3 sampled layers to extrapolate");
     if (prefillMode()) {
-        graph_ = llm::buildPrefillGraph(model, prefill_tokens_, quant_,
-                                        layers);
+        graph_ = llm::buildPrefillChunkGraph(model, prefill_tokens_,
+                                             kv_base_, quant_, layers,
+                                             last_chunk_);
         graph_is_decode_ = false;
     } else if (graph_is_decode_ && graph_.n_layers == layers) {
         // Per-request graph instancing: the decode graph's structure
@@ -170,6 +199,11 @@ DecodeStream::opReady(std::uint32_t id)
     switch (op.kind) {
       case llm::OpKind::Sfu:
         npu_flops_ += op.flops;
+        if (contendedNpu()) {
+            env_.npu->acquireSfu(cfg.npu.sfuTime(op.sfu_elems),
+                                 [this, id] { complete(id); });
+            break;
+        }
         env_.eq->scheduleIn(cfg.npu.sfuTime(op.sfu_elems),
                             [this, id] { complete(id); });
         break;
@@ -179,6 +213,20 @@ DecodeStream::opReady(std::uint32_t id)
       case llm::OpKind::KvLoadCompute: {
         npu_flops_ += op.flops;
         const Tick comp = cfg.npu.computeTime(op.flops);
+        if (contendedNpu()) {
+            // The attention compute occupies the shared array for its
+            // full duration; the op finishes when both the KV stream
+            // and the array grant have drained.
+            s.join_remaining = 2;
+            const auto part = [this, id] {
+                CAMLLM_ASSERT(st_[id].join_remaining > 0);
+                if (--st_[id].join_remaining == 0)
+                    complete(id);
+            };
+            env_.dram->request(op.kv_bytes, part);
+            env_.npu->acquireArray(comp, part);
+            break;
+        }
         const Tick serv = env_.dram->serviceTime(op.kv_bytes);
         const Tick extra = comp > serv ? comp - serv : 0;
         env_.dram->request(op.kv_bytes, [this, id, extra] {
@@ -238,6 +286,7 @@ DecodeStream::issueGemv(std::uint32_t id)
             auto submit = [&](std::uint32_t cores) {
                 flash::RcTileWork tile;
                 tile.client = client_;
+                tile.cls = workClass();
                 tile.op_id = id;
                 tile.cores_used = cores;
                 tile.input_bytes = in_bytes;
@@ -293,6 +342,7 @@ DecodeStream::issueReads(std::uint32_t id, const TilePlan &plan)
         left -= chunk;
         flash::ReadPageJob job;
         job.client = client_;
+        job.cls = workClass();
         job.op_id = id;
         job.bytes = chunk;
         job.sliced = cfg.slicing;
@@ -330,6 +380,15 @@ DecodeStream::maybeCompleteGemv(std::uint32_t id)
                              double(op.cols) * op.npu_compute_scale;
     done = std::max(done,
                     s.ready_tick + cfg.npu.computeTime(npu_flops));
+    if (contendedNpu()) {
+        // The compute tail that outlives the weight stream is array
+        // time this stream must reserve; the streaming-overlapped
+        // portion is already charged to the op's span. Under
+        // contention the tail queues behind neighbors' grants.
+        env_.npu->acquireArray(done - env_.eq->now(),
+                               [this, id] { complete(id); });
+        return;
+    }
     env_.eq->schedule(done, [this, id] { complete(id); });
 }
 

@@ -30,6 +30,8 @@
 
 namespace camllm::core {
 
+class NpuArbiter;
+
 /** Snapshot of every additive counter (for layer extrapolation). */
 struct StreamCounters
 {
@@ -64,6 +66,15 @@ class DecodeStream
         EventQueue *eq = nullptr;
         npu::DramModel *dram = nullptr;
         flash::FlashSystem *fs = nullptr;
+
+        /**
+         * Shared-NPU occupancy arbiter; optional. When present and
+         * contended, the stream reserves systolic-array and SFU time
+         * through it instead of overlapping with its neighbors for
+         * free. Null (or a free arbiter) reproduces the historical
+         * infinitely-parallel NPU bit-exactly.
+         */
+        NpuArbiter *npu = nullptr;
     };
 
     /** Fires when a token completes, with its (extrapolated) stats.
@@ -87,6 +98,20 @@ class DecodeStream
     void startToken(std::uint32_t seq, std::uint32_t prefill_tokens,
                     TokenDone done);
 
+    /**
+     * Begin one chunk of a chunked prefill at the current tick:
+     * @p chunk_len prompt positions on top of @p kv_base KV entries
+     * earlier chunks wrote. The chunk appends its own K/V to DRAM as
+     * it goes; only the last chunk (@p last_chunk) runs the head
+     * projection and emits the request's first token. A single chunk
+     * covering the whole prompt with kv_base == 0 is bit-identical to
+     * startToken(prompt, prompt, done) — the classic one-shot
+     * prefill.
+     */
+    void startPrefillChunk(std::uint32_t chunk_len,
+                           std::uint32_t kv_base, bool last_chunk,
+                           TokenDone done);
+
     /** True between startToken() and its done callback. */
     bool busy() const { return !done_ops_all_; }
 
@@ -108,6 +133,7 @@ class DecodeStream
         std::uint64_t read_remaining = 0;
         std::uint64_t read_total = 0;
         Tick ready_tick = 0; ///< when dependencies were satisfied
+        std::uint8_t join_remaining = 0; ///< contended DRAM+array join
         bool ready = false;
         bool rc_issued = false;
         bool reads_issued = false;
@@ -115,6 +141,13 @@ class DecodeStream
     };
 
     bool prefillMode() const { return prefill_tokens_ > 0; }
+    bool contendedNpu() const;
+    flash::WorkClass workClass() const
+    {
+        return prefillMode() ? flash::WorkClass::Prefill
+                             : flash::WorkClass::Decode;
+    }
+    void beginUnit(TokenDone done);
     const TilePlan &planFor(std::uint64_t rows, std::uint64_t cols) const
     {
         return env_.plans->planFor(rows, cols);
@@ -141,6 +174,8 @@ class DecodeStream
 
     std::uint32_t seq_ = 0;
     std::uint32_t prefill_tokens_ = 0;
+    std::uint32_t kv_base_ = 0;  ///< KV written by earlier chunks
+    bool last_chunk_ = true;     ///< head projection present
     TokenDone done_;
     bool done_ops_all_ = true;
 

@@ -1,0 +1,336 @@
+#include "scheduler.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "core/decode_stream.h"
+#include "core/npu_arbiter.h"
+#include "flash/flash_system.h"
+#include "npu/dram.h"
+#include "sim/event_queue.h"
+
+namespace camllm::core {
+
+namespace {
+
+LatencySummary
+summarize(const SampleSet &s)
+{
+    LatencySummary out;
+    out.n = s.count();
+    out.p50_ms = s.percentile(50.0);
+    out.p95_ms = s.percentile(95.0);
+    out.p99_ms = s.percentile(99.0);
+    out.mean_ms = s.mean();
+    out.max_ms = s.max();
+    return out;
+}
+
+} // namespace
+
+Scheduler::Scheduler(const CamConfig &config,
+                     const llm::ModelConfig &model)
+    : config_(config), model_(model)
+{
+    if (!config_.flash.valid() || !config_.npu.valid())
+        fatal("invalid Cambricon-LLM configuration '%s'",
+              config_.name.c_str());
+    if (!model_.valid())
+        fatal("invalid model configuration '%s'", model_.name.c_str());
+    plan_cache_ = std::make_unique<PlanCache>(
+        config_.flash, llm::QuantSpec::of(config_.quant),
+        config_.tilingOptions());
+}
+
+ServeStats
+Scheduler::serve(const std::vector<ServeRequest> &requests,
+                 const SchedOptions &opt) const
+{
+    CAMLLM_ASSERT(!requests.empty());
+    CAMLLM_ASSERT(opt.max_batch >= 1);
+    if (opt.policy == SchedPolicy::ChunkedInterleave)
+        CAMLLM_ASSERT(opt.prefill_chunk >= 1);
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        const ServeRequest &r = requests[i];
+        CAMLLM_ASSERT(r.prompt + r.context >= 1 &&
+                      r.decode_tokens >= 1);
+        CAMLLM_ASSERT(i == 0 ||
+                          r.arrival >= requests[i - 1].arrival,
+                      "arrival trace must be time-ordered");
+    }
+
+    // Shared device, same construction order as the single-request
+    // engine (and PR 2's BatchEngine) so a decode-only FCFS run
+    // replays its exact event sequence.
+    EventQueue eq;
+    npu::DramModel dram(eq, config_.npu);
+    flash::FlashSystem fs(eq, config_.flash, config_.tile_window,
+                          config_.slicing);
+    NpuArbiter npu(eq, opt.npu_contention);
+
+    struct ReqRun
+    {
+        ServeRequest spec;
+        CamConfig cfg; ///< seq_len rebound per token
+        std::unique_ptr<DecodeStream> stream;
+        ServeRequestStats stats;
+        std::uint32_t prefill_done = 0; ///< prompt tokens prefilled
+        std::uint32_t cur_chunk = 0;    ///< in-flight chunk length
+        std::uint32_t tokens_done = 0;  ///< decode steps completed
+        Tick token_start = 0;
+        Tick sim_token_sum = 0; ///< simulated (un-extrapolated) time
+        bool finished = false;
+    };
+
+    std::vector<ReqRun> runs(requests.size());
+    std::size_t next_admit = 0;
+    std::uint32_t active = 0;
+    std::uint64_t finished = 0;
+    bool wake_pending = false;
+    SampleSet tbt_ms;
+
+    DecodeStream::Env base;
+    base.model = &model_;
+    base.plans = plan_cache_.get();
+    base.eq = &eq;
+    base.dram = &dram;
+    base.fs = &fs;
+    base.npu = &npu;
+
+    // The NPU weight-staging buffer is one physical resource; divide
+    // the prefetch window across however many streams are active.
+    const auto rebudget = [&] {
+        const std::uint64_t budget =
+            config_.npu.weight_buffer_bytes /
+            std::max<std::uint32_t>(1, active);
+        for (ReqRun &r : runs)
+            if (r.stream && !r.finished)
+                r.stream->setReadBudget(budget);
+    };
+
+    std::function<void(std::size_t)> startNext;
+    std::function<void()> admit;
+
+    const auto onChunkDone = [&](std::size_t i, const TokenStats &s) {
+        ReqRun &r = runs[i];
+        r.sim_token_sum += eq.now() - r.token_start;
+        r.stats.prefill_time += s.token_time;
+        ++r.stats.prefill_chunks;
+        r.prefill_done += r.cur_chunk;
+        r.cur_chunk = 0;
+        if (r.prefill_done >= r.spec.prompt) {
+            // The last chunk's head projection emitted the request's
+            // first token.
+            r.stats.first_token = s;
+            r.stats.first_token_tick = eq.now();
+        }
+        startNext(i); // next chunk, or the first decode step
+    };
+
+    const auto onTokenDone = [&](std::size_t i, const TokenStats &s) {
+        ReqRun &r = runs[i];
+        r.sim_token_sum += eq.now() - r.token_start;
+        r.stats.total_token_time += s.token_time;
+        if (r.tokens_done == 0 && r.spec.prompt == 0) {
+            // Decode-only request: its first decode step emits the
+            // first token (BatchEngine-compatible first_token).
+            r.stats.first_token = s;
+            r.stats.first_token_tick = eq.now();
+        } else {
+            tbt_ms.add(double(s.token_time) / double(kMs));
+        }
+        ++r.tokens_done;
+        if (r.tokens_done < r.spec.decode_tokens) {
+            startNext(i); // continuous: no batch barrier
+            return;
+        }
+        r.finished = true;
+        r.stats.finish_tick = eq.now();
+        ++finished;
+        CAMLLM_ASSERT(active > 0);
+        --active;
+        admit(); // refill the slot at the same tick
+        rebudget();
+    };
+
+    startNext = [&](std::size_t i) {
+        ReqRun &r = runs[i];
+        r.token_start = eq.now();
+        if (r.prefill_done < r.spec.prompt) {
+            // PREFILL: the next chunk under the policy's token
+            // budget; FCFS takes the whole remaining prompt at once.
+            const std::uint32_t remaining =
+                r.spec.prompt - r.prefill_done;
+            const std::uint32_t chunk =
+                opt.policy == SchedPolicy::ChunkedInterleave
+                    ? std::min(opt.prefill_chunk, remaining)
+                    : remaining;
+            const bool last = chunk == remaining;
+            r.cur_chunk = chunk;
+            const std::uint32_t kv_base =
+                r.spec.context + r.prefill_done;
+            r.cfg.seq_len = kv_base + chunk;
+            r.stream->startPrefillChunk(
+                chunk, kv_base, last,
+                [&, i](const TokenStats &s) { onChunkDone(i, s); });
+            return;
+        }
+        // DECODE: the request's KV stream grows with every token.
+        const std::uint32_t seq =
+            r.spec.context + r.spec.prompt + r.tokens_done;
+        r.cfg.seq_len = seq;
+        r.stream->startToken(seq, 0, [&, i](const TokenStats &s) {
+            onTokenDone(i, s);
+        });
+    };
+
+    bool initial_wave = true;
+    admit = [&] {
+        std::vector<std::size_t> started;
+        while (active < opt.max_batch && next_admit < runs.size()) {
+            const ServeRequest &spec = requests[next_admit];
+            if (spec.arrival > eq.now()) {
+                // Head of the queue is in the future: wake when it
+                // lands (arrivals are sorted, one wake suffices).
+                if (!wake_pending) {
+                    wake_pending = true;
+                    eq.schedule(spec.arrival, [&] {
+                        wake_pending = false;
+                        admit();
+                    });
+                }
+                break;
+            }
+            const std::size_t i = next_admit++;
+            ReqRun &r = runs[i];
+            r.spec = spec;
+            r.cfg = config_;
+            r.stats.id = std::uint32_t(i);
+            r.stats.prompt = r.spec.prompt;
+            r.stats.context = r.spec.context;
+            r.stats.decode_tokens = r.spec.decode_tokens;
+            r.stats.arrival = r.spec.arrival;
+            DecodeStream::Env env = base;
+            env.cfg = &r.cfg;
+            r.stream = std::make_unique<DecodeStream>(env);
+            ++active;
+            started.push_back(i);
+        }
+        if (started.empty())
+            return;
+        // Budget every stream for the new concurrency BEFORE any new
+        // stream issues work, so no first token prefetches with more
+        // than its share of the staging buffer.
+        rebudget();
+        for (std::size_t i : started) {
+            ReqRun &r = runs[i];
+            // Stagger only the initial wave (i * stagger ticks); the
+            // slot is held from admission, the stream just waits for
+            // its start slot. A delay of zero starts synchronously,
+            // which keeps the decode-only event sequence identical to
+            // PR 2's BatchEngine.
+            Tick start = initial_wave ? Tick(i) * opt.admission_stagger
+                                      : eq.now();
+            if (start < r.spec.arrival)
+                start = r.spec.arrival;
+            r.stats.admit_tick = start;
+            if (start == eq.now())
+                startNext(i);
+            else
+                eq.schedule(start, [&, i] { startNext(i); });
+        }
+    };
+
+    admit();
+    initial_wave = false;
+    eq.run();
+    CAMLLM_ASSERT(finished == runs.size(),
+                  "only %llu of %zu requests completed",
+                  (unsigned long long)finished, runs.size());
+
+    ServeStats out;
+    out.max_batch = opt.max_batch;
+    out.sim_makespan = eq.now();
+    out.requests.reserve(runs.size());
+
+    Tick sim_sum = 0, ext_sum = 0;
+    double rate_sum = 0.0, rate_sq_sum = 0.0;
+    for (ReqRun &r : runs) {
+        ServeRequestStats &st = r.stats;
+        st.mean_token_time = st.total_token_time / st.decode_tokens;
+        st.tokens_per_s =
+            st.total_token_time > 0
+                ? double(st.decode_tokens) * double(kSec) /
+                      double(st.total_token_time)
+                : 0.0;
+        out.total_tokens += st.decode_tokens;
+        if (st.prompt > 0)
+            ++out.total_tokens; // the prefill-emitted first token
+        sim_sum += r.sim_token_sum;
+        ext_sum += st.total_token_time + st.prefill_time;
+        rate_sum += st.tokens_per_s;
+        rate_sq_sum += st.tokens_per_s * st.tokens_per_s;
+        out.requests.push_back(std::move(st));
+    }
+
+    out.extrapolation_factor =
+        sim_sum > 0 ? double(ext_sum) / double(sim_sum) : 1.0;
+    const double real_makespan =
+        double(out.sim_makespan) * out.extrapolation_factor;
+    out.finite_run_tokens_per_s =
+        real_makespan > 0.0
+            ? double(out.total_tokens) * double(kSec) / real_makespan
+            : 0.0;
+    const double concurrency = double(
+        std::min<std::size_t>(opt.max_batch, out.requests.size()));
+    out.aggregate_tokens_per_s =
+        concurrency * rate_sum / double(out.requests.size());
+    out.avg_channel_util = fs.avgChannelUtilization(out.sim_makespan);
+    const std::size_t n = out.requests.size();
+    out.fairness_jain =
+        rate_sq_sum > 0.0
+            ? (rate_sum * rate_sum) / (double(n) * rate_sq_sum)
+            : 1.0;
+
+    // Latency SLOs in depth-extrapolated milliseconds. Service spans
+    // are the sum of per-step extrapolated times (contention stalls
+    // included in each step's span); the queue-wait term is sim time
+    // scaled by the run's measured extrapolation factor.
+    SampleSet ttft_ms;
+    for (ServeRequestStats &st : out.requests) {
+        const double wait =
+            double(st.admit_tick - st.arrival) *
+            out.extrapolation_factor;
+        double ttft = wait + double(st.prefill_time);
+        if (st.prompt == 0)
+            ttft += double(st.first_token.token_time);
+        st.ttft_ms = ttft / double(kMs);
+        ttft_ms.add(st.ttft_ms);
+
+        Tick tbt_total = st.total_token_time;
+        std::uint32_t tbt_n = st.decode_tokens;
+        if (st.prompt == 0) {
+            tbt_total -= st.first_token.token_time;
+            tbt_n -= 1;
+        }
+        st.mean_tbt_ms =
+            tbt_n > 0
+                ? double(tbt_total) / double(tbt_n) / double(kMs)
+                : 0.0;
+    }
+    out.ttft = summarize(ttft_ms);
+    out.tbt = summarize(tbt_ms);
+
+    out.npu_array_util =
+        opt.npu_contention ? npu.arrayUtilization(out.sim_makespan)
+                           : 0.0;
+    out.prefill_channel_bytes =
+        fs.deliveredBytes(flash::WorkClass::Prefill);
+    out.decode_channel_bytes =
+        fs.deliveredBytes(flash::WorkClass::Decode);
+    return out;
+}
+
+} // namespace camllm::core

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Unified serving scheduler: chunked prefill / decode co-scheduling
+ * over one simulated device, with trace-driven arrivals and SLO
+ * percentile reporting.
+ *
+ * Each admitted request is a state machine PREFILL(chunked) → DECODE
+ * → DONE driven over a core::DecodeStream: prefill runs as one or
+ * more chunks that write KV as they go (the last chunk's head
+ * projection emits the request's first token), then every decode step
+ * grows the request's KV stream by one. All active streams share the
+ * flash channels, the DRAM KV bandwidth, the NPU weight-staging
+ * buffer and — when contention is enabled — systolic-array and SFU
+ * time through a core::NpuArbiter.
+ *
+ * Policies:
+ *  - DecodeFirstFcfs: FCFS admission; an admitted prompt prefills in
+ *    a single whole-prompt chunk. With free NPU arbitration and
+ *    decode-only requests this reproduces the PR 2 BatchEngine event
+ *    sequence bit-identically (enforced by tests).
+ *  - ChunkedInterleave: Sarathi-style token budget; prompts prefill
+ *    in chunks of at most `prefill_chunk` tokens, so in-flight decode
+ *    tokens interleave with prefill on the shared device instead of
+ *    stalling behind a monolithic prompt pass.
+ *
+ * Requests arrive on the sim clock (core::ArrivalTrace); the
+ * scheduler admits FCFS into `max_batch` slots as arrivals land and
+ * slots retire. Per-request TTFT and per-token TBT are reported in
+ * depth-extrapolated milliseconds with p50/p95/p99 summaries.
+ */
+
+#ifndef CAMLLM_CORE_SCHEDULER_H
+#define CAMLLM_CORE_SCHEDULER_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/arrivals.h"
+#include "core/engine.h"
+#include "core/presets.h"
+#include "core/tiling.h"
+#include "llm/model_config.h"
+
+namespace camllm::core {
+
+/** Prefill/decode co-scheduling policy. */
+enum class SchedPolicy
+{
+    DecodeFirstFcfs,  ///< whole-prompt prefill, FCFS slots (PR 2-like)
+    ChunkedInterleave ///< chunked prefill under a token budget
+};
+
+/** One serve() run's knobs. */
+struct SchedOptions
+{
+    std::uint32_t max_batch = 8;
+    SchedPolicy policy = SchedPolicy::DecodeFirstFcfs;
+
+    /** Prefill token budget per chunk (ChunkedInterleave only). */
+    std::uint32_t prefill_chunk = 512;
+
+    /** Serialize systolic-array/SFU time across streams instead of
+     *  overlapping it for free (core::NpuArbiter). */
+    bool npu_contention = false;
+
+    /** Initial-wave stagger: slot i of the first admission wave
+     *  starts i * stagger ticks in (PR 2 BatchEngine semantics). */
+    Tick admission_stagger = 0;
+};
+
+/** Measured results of one served request. */
+struct ServeRequestStats
+{
+    std::uint32_t id = 0;
+    std::uint32_t prompt = 0;
+    std::uint32_t context = 0;
+    std::uint32_t decode_tokens = 0;
+
+    Tick arrival = 0;          ///< sim clock
+    Tick admit_tick = 0;       ///< slot start (stagger included)
+    Tick first_token_tick = 0; ///< first token emitted (sim clock)
+    Tick finish_tick = 0;      ///< last decode step done (sim clock)
+
+    /**
+     * Stats of the step that emitted the first token: the last
+     * prefill chunk when prompt > 0, else the first decode step
+     * (bit-compatible with RequestStats::first_token for decode-only
+     * requests).
+     */
+    TokenStats first_token;
+
+    Tick prefill_time = 0;           ///< sum of extrapolated chunk times
+    std::uint32_t prefill_chunks = 0;
+
+    Tick total_token_time = 0; ///< sum of extrapolated decode times
+    Tick mean_token_time = 0;  ///< total_token_time / decode_tokens
+    double tokens_per_s = 0.0; ///< sequential decode rate under load
+
+    double ttft_ms = 0.0;     ///< queue wait + service to first token
+    double mean_tbt_ms = 0.0; ///< mean time between subsequent tokens
+};
+
+/** Distribution summary of a latency metric (milliseconds). */
+struct LatencySummary
+{
+    std::uint64_t n = 0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+};
+
+/** Aggregate results of one serve() run. */
+struct ServeStats
+{
+    std::vector<ServeRequestStats> requests;
+    std::uint32_t max_batch = 0;
+
+    /** Emitted tokens: decode steps plus one first token per
+     *  prefilled prompt. */
+    std::uint64_t total_tokens = 0;
+
+    Tick sim_makespan = 0;
+    double extrapolation_factor = 1.0;
+
+    /** Same definitions as BatchStats (PR 2): steady-state and
+     *  whole-finite-run decode throughput. */
+    double aggregate_tokens_per_s = 0.0;
+    double finite_run_tokens_per_s = 0.0;
+
+    double avg_channel_util = 0.0;
+    double fairness_jain = 1.0;
+
+    LatencySummary ttft; ///< over requests
+    LatencySummary tbt;  ///< over all subsequent-token gaps
+
+    /** Systolic-array occupancy (contended runs; 0 otherwise). */
+    double npu_array_util = 0.0;
+
+    /** Channel payload delivered per serving phase. */
+    std::uint64_t prefill_channel_bytes = 0;
+    std::uint64_t decode_channel_bytes = 0;
+};
+
+/** Multi-request prefill + decode co-scheduling simulation. */
+class Scheduler
+{
+  public:
+    Scheduler(const CamConfig &config, const llm::ModelConfig &model);
+
+    /**
+     * Serve @p requests (arrival-ordered) under @p opt. Deterministic:
+     * same inputs give bit-identical stats on any host/thread count.
+     */
+    ServeStats serve(const std::vector<ServeRequest> &requests,
+                     const SchedOptions &opt) const;
+
+    /** serve() over a trace's requests. */
+    ServeStats
+    serve(const ArrivalTrace &trace, const SchedOptions &opt) const
+    {
+        return serve(trace.requests(), opt);
+    }
+
+    const CamConfig &config() const { return config_; }
+    const llm::ModelConfig &model() const { return model_; }
+
+  private:
+    CamConfig config_;
+    llm::ModelConfig model_;
+    std::unique_ptr<PlanCache> plan_cache_;
+};
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_SCHEDULER_H

@@ -69,6 +69,7 @@ ChannelEngine::tryActivate()
 
         RcPageJob job;
         job.client = tile.client;
+        job.cls = tile.cls;
         job.op_id = tile.op_id;
         job.tile_seq = seq;
         job.out_bytes = tile.out_bytes_per_core;
@@ -117,7 +118,9 @@ ChannelEngine::onRcResultDelivered(const RcPageJob &job)
     Completion c;
     c.kind = Completion::Kind::RcResult;
     c.client = job.client;
+    c.cls = job.cls;
     c.op_id = job.op_id;
+    delivered_bytes_[std::size_t(job.cls)] += job.out_bytes;
     router_.deliver(c);
 }
 
@@ -127,8 +130,10 @@ ChannelEngine::onReadDelivered(const ReadPageJob &job)
     Completion c;
     c.kind = Completion::Kind::ReadData;
     c.client = job.client;
+    c.cls = job.cls;
     c.op_id = job.op_id;
     c.bytes = job.bytes;
+    delivered_bytes_[std::size_t(job.cls)] += job.bytes;
     router_.deliver(c);
     dispatchReads();
 }

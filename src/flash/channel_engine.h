@@ -68,6 +68,14 @@ class ChannelEngine
     std::uint64_t pagesRead() const;
     std::uint64_t arrayReads() const;
 
+    /** Payload bytes delivered to clients for @p cls work (read-page
+     *  data plus read-compute result vectors). */
+    std::uint64_t
+    deliveredBytes(WorkClass cls) const
+    {
+        return delivered_bytes_[std::size_t(cls)];
+    }
+
   private:
     void tryActivate();
     void dispatchReads();
@@ -97,6 +105,8 @@ class ChannelEngine
 
     std::deque<ReadPageJob> read_queue_;
     std::size_t rr_die_ = 0; ///< round-robin cursor for read dispatch
+
+    std::uint64_t delivered_bytes_[kWorkClasses] = {0, 0};
 };
 
 } // namespace camllm::flash

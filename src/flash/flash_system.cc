@@ -79,6 +79,15 @@ FlashSystem::arrayReads() const
     return n;
 }
 
+std::uint64_t
+FlashSystem::deliveredBytes(WorkClass cls) const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->deliveredBytes(cls);
+    return n;
+}
+
 double
 FlashSystem::busBusySum() const
 {

@@ -77,6 +77,10 @@ class FlashSystem
     /** Total NAND array reads (the dominant energy term). */
     std::uint64_t arrayReads() const;
 
+    /** Payload bytes delivered for @p cls work across all channels
+     *  (prefill/decode share of the device's client traffic). */
+    std::uint64_t deliveredBytes(WorkClass cls) const;
+
     /** Sum of channel-bus busy ticks over all channels. */
     double busBusySum() const;
 

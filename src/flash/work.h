@@ -8,6 +8,7 @@
 #ifndef CAMLLM_FLASH_WORK_H
 #define CAMLLM_FLASH_WORK_H
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/units.h"
@@ -18,6 +19,20 @@ namespace camllm::flash {
 using ClientId = std::uint32_t;
 
 /**
+ * Serving phase a flash work item belongs to. Streams tag their
+ * submissions so the device can account channel traffic per phase —
+ * the scheduler reads back how many delivered bytes served chunked
+ * prefill versus in-flight decode on the shared channels.
+ */
+enum class WorkClass : std::uint8_t
+{
+    Decode = 0,
+    Prefill = 1
+};
+
+inline constexpr std::size_t kWorkClasses = 2;
+
+/**
  * One atomic tile of a read-compute request, i.e.\ the single weight
  * page a specific compute core multiplies against the (broadcast)
  * input slice. The producer fixes the compute time because it knows
@@ -26,6 +41,7 @@ using ClientId = std::uint32_t;
 struct RcPageJob
 {
     ClientId client = 0;        ///< stream the result belongs to
+    WorkClass cls = WorkClass::Decode; ///< serving phase of the owner
     std::uint64_t op_id = 0;    ///< owning GeMV op, client-local id
     std::uint32_t tile_seq = 0; ///< channel-local tile sequence number
     std::uint32_t out_bytes = 0;///< result-vector bytes this core returns
@@ -39,6 +55,7 @@ struct RcPageJob
 struct ReadPageJob
 {
     ClientId client = 0;
+    WorkClass cls = WorkClass::Decode;
     std::uint64_t op_id = 0;
     std::uint32_t bytes = 0; ///< useful data bytes (<= page size)
     bool sliced = true;      ///< Slice Control on/off (Fig 12 ablation)
@@ -51,6 +68,7 @@ struct ReadPageJob
 struct RcTileWork
 {
     ClientId client = 0;
+    WorkClass cls = WorkClass::Decode;
     std::uint64_t op_id = 0;
     std::uint32_t cores_used = 0;       ///< dies engaged on this channel
     std::uint32_t input_bytes = 0;      ///< broadcast grant size
@@ -76,6 +94,7 @@ struct Completion
 
     Kind kind = Kind::RcResult;
     ClientId client = 0;
+    WorkClass cls = WorkClass::Decode; ///< phase tag of the work item
     std::uint64_t op_id = 0;
     std::uint32_t bytes = 0; ///< delivered bytes (ReadData only)
 };

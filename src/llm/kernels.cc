@@ -1,6 +1,7 @@
 #include "kernels.h"
 
 #include <cmath>
+#include <cstdlib>
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define CAMLLM_AVX2_TARGET 1
@@ -207,12 +208,21 @@ gemvAvx2(const QTensor &w, const float *xv, float *y)
 #endif // CAMLLM_AVX2_TARGET
 
 bool
+simdDisabledByEnv()
+{
+    // Read per call (not cached) so tests and operators can toggle the
+    // escape hatch at runtime; the getenv cost is noise next to a GeMV.
+    const char *v = std::getenv("CAMLLM_NO_SIMD");
+    return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+bool
 gemvFastUsesAvx2()
 {
 #ifdef CAMLLM_AVX2_TARGET
     static const bool ok = __builtin_cpu_supports("avx2") &&
                            __builtin_cpu_supports("fma");
-    return ok;
+    return ok && !simdDisabledByEnv();
 #else
     return false;
 #endif
@@ -230,7 +240,10 @@ gemvFast(const QTensor &w, std::span<const float> x, std::span<float> y)
         return;
     }
 #endif
-    gemv(w, x, y);
+    // Non-AVX2 builds (and CAMLLM_NO_SIMD=1) take the scalar reference
+    // path: bit-exact with gemvScalar by definition, so the fallback
+    // is also the ground truth the tolerance tests compare against.
+    gemvScalar(w, x, y);
 }
 
 void

@@ -43,9 +43,14 @@ namespace {
 class Builder
 {
   public:
+    /**
+     * @p seq is the context length in decode mode and the chunk length
+     * in prefill mode; @p kv_base is the KV entries already written by
+     * earlier prefill chunks (0 for decode and whole-prompt prefill).
+     */
     Builder(const ModelConfig &m, std::uint32_t seq, const QuantSpec &q,
-            bool prefill = false)
-        : m_(m), seq_(seq), q_(q), prefill_(prefill)
+            bool prefill = false, std::uint32_t kv_base = 0)
+        : m_(m), seq_(seq), kv_base_(kv_base), q_(q), prefill_(prefill)
     {
     }
 
@@ -93,9 +98,11 @@ class Builder
         const std::uint64_t kvp = m_.kvProjDim();
         const std::uint32_t act_b = q_.act_bits / 8;
 
-        // In prefill the same weights multiply every prompt position;
-        // in decode there is exactly one position.
+        // In prefill the same weights multiply every position of the
+        // chunk; in decode there is exactly one position. Attention
+        // always spans the whole accumulated context.
         const double pos = prefill_ ? double(seq_) : 1.0;
+        const std::uint64_t ctx = std::uint64_t(kv_base_) + seq_;
 
         auto ln1 = sfu("ln1", l, pos * double(d), {input});
         auto q = gemv("wq", l, d, d, {ln1});
@@ -111,33 +118,41 @@ class Builder
         auto ap = add(std::move(append));
 
         // Attention scores: q . K^T. In decode the K stream comes from
-        // DRAM; in prefill the causal score matrix costs ~seq^2/2 MACs
-        // per attention dimension while K makes one DRAM round trip
+        // DRAM; in prefill position j of the chunk attends causally to
+        // kv_base + j + 1 keys, so the chunk's score MACs sum to
+        // pos * (2*kv_base + pos + 1) / 2 per attention dimension (2
+        // flops per MAC) while K makes one DRAM round trip per chunk
         // (FlashAttention-style tiling keeps the working set on chip).
+        // The causal sum telescopes across chunks — splitting a prompt
+        // changes only the re-streamed KV bytes and per-chunk drains,
+        // never the attention compute charged — and a mid-prompt chunk
+        // re-streams the kv_base entries earlier chunks wrote, so its
+        // KV load covers ctx, not just the chunk.
         Op score;
         score.kind = OpKind::KvLoadCompute;
         score.name = "attn_score";
         score.layer = l;
-        score.kv_bytes = std::uint64_t(seq_) * kvp * act_b;
-        score.flops = pos * double(seq_) * double(d);
-        if (!prefill_)
-            score.flops *= 2.0;
+        score.kv_bytes = ctx * kvp * act_b;
+        score.flops =
+            prefill_ ? pos * (2.0 * kv_base_ + pos + 1.0) * double(d)
+                     : 2.0 * double(ctx) * double(d);
         score.deps = {q, ap};
         auto sc = add(std::move(score));
 
         auto sm = sfu("softmax", l,
-                      double(m_.n_heads) * seq_ * (prefill_ ? pos / 2.0
-                                                            : 1.0),
+                      prefill_ ? double(m_.n_heads) * pos *
+                                     (2.0 * kv_base_ + pos + 1.0) / 2.0
+                               : double(m_.n_heads) * double(ctx),
                       {sc});
 
-        Op ctx;
-        ctx.kind = OpKind::KvLoadCompute;
-        ctx.name = "attn_context";
-        ctx.layer = l;
-        ctx.kv_bytes = std::uint64_t(seq_) * kvp * act_b;
-        ctx.flops = score.flops;
-        ctx.deps = {sm};
-        auto cx = add(std::move(ctx));
+        Op attn_ctx;
+        attn_ctx.kind = OpKind::KvLoadCompute;
+        attn_ctx.name = "attn_context";
+        attn_ctx.layer = l;
+        attn_ctx.kv_bytes = ctx * kvp * act_b;
+        attn_ctx.flops = score.flops;
+        attn_ctx.deps = {sm};
+        auto cx = add(std::move(attn_ctx));
 
         auto o = gemv("wo", l, d, d, {cx});
         auto ln2 = sfu("ln2", l, pos * double(d), {o});
@@ -158,7 +173,7 @@ class Builder
     }
 
     DecodeGraph
-    build(std::uint32_t layers_to_build)
+    build(std::uint32_t layers_to_build, bool with_head = true)
     {
         // The token embedding lookup is a single page read; it is
         // negligible next to billions of weight reads and is folded
@@ -167,13 +182,17 @@ class Builder
         auto cur = sfu("embed", 0, pos * double(m_.d_model), {});
         for (std::uint32_t l = 0; l < layers_to_build; ++l)
             cur = layer(l, cur);
-        auto fin = sfu("final_norm", layers_to_build - 1,
-                       double(m_.d_model), {cur});
-        // The lm_head projects only the final position, even in
-        // prefill, so its compute scale stays 1.
-        auto head = gemv("lm_head", ~std::uint32_t(0), m_.vocab,
-                         m_.d_model, {fin});
-        g_.ops[head].npu_compute_scale = 1.0;
+        // Mid-prompt prefill chunks emit no token: they only deposit
+        // KV, so they skip the final norm and the head projection.
+        if (with_head) {
+            auto fin = sfu("final_norm", layers_to_build - 1,
+                           double(m_.d_model), {cur});
+            // The lm_head projects only the final position, even in
+            // prefill, so its compute scale stays 1.
+            auto head = gemv("lm_head", ~std::uint32_t(0), m_.vocab,
+                             m_.d_model, {fin});
+            g_.ops[head].npu_compute_scale = 1.0;
+        }
         g_.n_layers = layers_to_build;
         return std::move(g_);
     }
@@ -181,6 +200,7 @@ class Builder
   private:
     const ModelConfig &m_;
     std::uint32_t seq_;
+    std::uint32_t kv_base_;
     QuantSpec q_;
     bool prefill_;
     DecodeGraph g_;
@@ -227,12 +247,22 @@ DecodeGraph
 buildPrefillGraph(const ModelConfig &model, std::uint32_t prompt_len,
                   const QuantSpec &quant, std::uint32_t layers_to_build)
 {
+    return buildPrefillChunkGraph(model, prompt_len, /*kv_base=*/0,
+                                  quant, layers_to_build,
+                                  /*last_chunk=*/true);
+}
+
+DecodeGraph
+buildPrefillChunkGraph(const ModelConfig &model, std::uint32_t chunk_len,
+                       std::uint32_t kv_base, const QuantSpec &quant,
+                       std::uint32_t layers_to_build, bool last_chunk)
+{
     CAMLLM_ASSERT(model.valid(), "invalid model %s", model.name.c_str());
     CAMLLM_ASSERT(layers_to_build > 0 &&
                   layers_to_build <= model.n_layers);
-    CAMLLM_ASSERT(prompt_len > 0);
-    Builder b(model, prompt_len, quant, /*prefill=*/true);
-    return b.build(layers_to_build);
+    CAMLLM_ASSERT(chunk_len > 0);
+    Builder b(model, chunk_len, quant, /*prefill=*/true, kv_base);
+    return b.build(layers_to_build, /*with_head=*/last_chunk);
 }
 
 } // namespace camllm::llm

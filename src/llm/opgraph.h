@@ -96,11 +96,32 @@ DecodeGraph buildDecodeGraph(const ModelConfig &model, std::uint32_t seq,
  * weight GeMVs (weights stream through the device once, multiplied
  * against every position — npu_compute_scale = prompt_len), causal
  * attention of O(prompt^2) flops, and SFU work scaled by the prompt.
+ * Equivalent to buildPrefillChunkGraph(model, prompt_len, 0, ...,
+ * last_chunk = true) — the whole prompt as one chunk.
  */
 DecodeGraph buildPrefillGraph(const ModelConfig &model,
                               std::uint32_t prompt_len,
                               const QuantSpec &quant,
                               std::uint32_t layers_to_build);
+
+/**
+ * Build one chunk of a chunked prefill: @p chunk_len prompt positions
+ * processed on top of @p kv_base tokens whose K/V entries earlier
+ * chunks already wrote. Weights stream once per chunk
+ * (npu_compute_scale = chunk_len), the chunk appends its own KV
+ * entries, and attention spans the full kv_base + chunk_len context.
+ * Only the last chunk (@p last_chunk) carries the final norm and the
+ * lm_head projection — that completion emits the request's first
+ * token. With kv_base == 0 and last_chunk the graph is identical to
+ * buildPrefillGraph(model, chunk_len, ...): one-chunk prefill
+ * reproduces the whole-prompt prefill bit-exactly.
+ */
+DecodeGraph buildPrefillChunkGraph(const ModelConfig &model,
+                                   std::uint32_t chunk_len,
+                                   std::uint32_t kv_base,
+                                   const QuantSpec &quant,
+                                   std::uint32_t layers_to_build,
+                                   bool last_chunk = true);
 
 /**
  * Rebind a decode graph built by buildDecodeGraph to context length

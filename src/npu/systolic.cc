@@ -39,4 +39,13 @@ estimateGemm(const SystolicParams &p, std::uint64_t m, std::uint64_t k,
     return e;
 }
 
+Tick
+UnitOccupancy::reserve(Tick now, Tick busy)
+{
+    const Tick start = free_at_ > now ? free_at_ : now;
+    free_at_ = start + busy;
+    busy_ticks_ += busy;
+    return free_at_;
+}
+
 } // namespace camllm::npu

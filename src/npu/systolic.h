@@ -61,6 +61,43 @@ SystolicEstimate estimateGemm(const SystolicParams &params,
                               std::uint64_t m, std::uint64_t k,
                               std::uint64_t batch);
 
+/**
+ * FIFO single-server occupancy of one NPU execution unit (the
+ * systolic array, or the SFU). The end-to-end engine historically let
+ * concurrent streams overlap their NPU time for free; reserving
+ * through this tracker instead serializes grants in arrival order, so
+ * a shared array is busy for the sum of its clients' compute — the
+ * contention model behind core::NpuArbiter.
+ */
+class UnitOccupancy
+{
+  public:
+    /**
+     * Reserve @p busy ticks of unit time requested at @p now. The
+     * grant starts at max(now, end of the previously granted work)
+     * and the returned tick is when it completes.
+     */
+    Tick reserve(Tick now, Tick busy);
+
+    /** Tick at which all granted work drains. */
+    Tick freeAt() const { return free_at_; }
+
+    /** Total granted busy ticks. */
+    std::uint64_t busyTicks() const { return busy_ticks_; }
+
+    /** Fraction of [0, elapsed) the unit was reserved. */
+    double
+    utilization(Tick elapsed) const
+    {
+        return elapsed == 0 ? 0.0
+                            : double(busy_ticks_) / double(elapsed);
+    }
+
+  private:
+    Tick free_at_ = 0;
+    std::uint64_t busy_ticks_ = 0;
+};
+
 } // namespace camllm::npu
 
 #endif // CAMLLM_NPU_SYSTOLIC_H

@@ -8,8 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <set>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "common/rng.h"
 #include "llm/eval.h"
@@ -242,6 +245,66 @@ TEST(OpGraph, RebindSeqMatchesFreshBuild)
     }
 }
 
+// One chunk covering the whole prompt with no prior KV must be the
+// prefill graph, op for op — the identity behind the scheduler's
+// "one-chunk prefill reproduces CambriconEngine::prefill()" check.
+TEST(OpGraph, OneChunkPrefillMatchesWholePrompt)
+{
+    for (const ModelConfig &m : {opt6_7b(), llama2_70b()}) {
+        const QuantSpec q = QuantSpec::of(QuantMode::W8A8);
+        const DecodeGraph whole = buildPrefillGraph(m, 640, q, 4);
+        const DecodeGraph chunk =
+            buildPrefillChunkGraph(m, 640, /*kv_base=*/0, q, 4,
+                                   /*last_chunk=*/true);
+        ASSERT_EQ(whole.ops.size(), chunk.ops.size());
+        for (std::size_t i = 0; i < whole.ops.size(); ++i) {
+            const Op &a = whole.ops[i];
+            const Op &b = chunk.ops[i];
+            EXPECT_EQ(a.kind, b.kind) << i;
+            EXPECT_EQ(a.name, b.name) << i;
+            EXPECT_EQ(a.rows, b.rows) << i;
+            EXPECT_EQ(a.cols, b.cols) << i;
+            EXPECT_EQ(a.kv_bytes, b.kv_bytes) << i;
+            EXPECT_EQ(a.flops, b.flops) << i;
+            EXPECT_EQ(a.sfu_elems, b.sfu_elems) << i;
+            EXPECT_EQ(a.npu_compute_scale, b.npu_compute_scale) << i;
+            EXPECT_EQ(a.deps, b.deps) << i;
+        }
+    }
+}
+
+// Mid-prompt chunks deposit KV but emit no token: no head projection,
+// attention spanning the accumulated context, KV append sized by the
+// chunk alone.
+TEST(OpGraph, MidChunkWritesKvWithoutHead)
+{
+    const ModelConfig m = opt6_7b();
+    const QuantSpec q = QuantSpec::of(QuantMode::W8A8);
+    const std::uint32_t chunk = 256, kv_base = 512;
+    const DecodeGraph g =
+        buildPrefillChunkGraph(m, chunk, kv_base, q, 3,
+                               /*last_chunk=*/false);
+
+    for (const Op &op : g.ops)
+        EXPECT_NE(op.name, "lm_head");
+    const std::uint32_t act_b = q.act_bits / 8;
+    const std::uint64_t kvp = m.kvProjDim();
+    for (const Op &op : g.ops) {
+        if (op.kind == OpKind::KvAppend)
+            EXPECT_EQ(op.kv_bytes,
+                      std::uint64_t(chunk) * 2ull * kvp * act_b);
+        if (op.kind == OpKind::KvLoadCompute)
+            EXPECT_EQ(op.kv_bytes,
+                      std::uint64_t(kv_base + chunk) * kvp * act_b);
+    }
+    // Last chunk at the same base gains exactly final_norm + lm_head.
+    const DecodeGraph last =
+        buildPrefillChunkGraph(m, chunk, kv_base, q, 3,
+                               /*last_chunk=*/true);
+    EXPECT_EQ(last.ops.size(), g.ops.size() + 2);
+    EXPECT_EQ(last.ops[last.lastOp()].name, "lm_head");
+}
+
 // --- functional kernels -------------------------------------------------------
 
 TEST(Kernels, GemvAgainstManualReference)
@@ -338,6 +401,41 @@ TEST(Kernels, FastGemvCloseToExactKernels)
     for (std::uint32_t r = 0; r < 96; ++r)
         EXPECT_NEAR(fast[r], exact[r],
                     1e-4f * std::max(1.0f, std::abs(exact[r])));
+}
+
+// CAMLLM_NO_SIMD=1 must force gemvFast onto the scalar reference path
+// at runtime: dispatch reports no AVX2 and the output is bit-equal to
+// gemvScalar (the fallback IS the reference, not merely close to it).
+TEST(Kernels, NoSimdEnvForcesScalarFallback)
+{
+    Rng rng(4242);
+    QTensor w(77, 129, 0.031f);
+    for (auto &v : w.data)
+        v = std::int8_t(std::int32_t(rng.below(255)) - 127);
+    std::vector<float> x(129);
+    for (auto &v : x)
+        v = float(std::int32_t(rng.below(2001)) - 1000) / 333.0f;
+
+    const char *saved = std::getenv("CAMLLM_NO_SIMD");
+    const std::string restore = saved ? saved : "";
+    ASSERT_EQ(setenv("CAMLLM_NO_SIMD", "1", 1), 0);
+    EXPECT_TRUE(simdDisabledByEnv());
+    EXPECT_FALSE(gemvFastUsesAvx2());
+
+    std::vector<float> fast(77), scalar(77);
+    gemvFast(w, x, fast);
+    gemvScalar(w, x, scalar);
+    for (std::uint32_t r = 0; r < 77; ++r)
+        ASSERT_EQ(fast[r], scalar[r]) << "row " << r;
+
+    // CAMLLM_NO_SIMD=0 (and empty) mean "not disabled".
+    ASSERT_EQ(setenv("CAMLLM_NO_SIMD", "0", 1), 0);
+    EXPECT_FALSE(simdDisabledByEnv());
+
+    if (saved)
+        ASSERT_EQ(setenv("CAMLLM_NO_SIMD", restore.c_str(), 1), 0);
+    else
+        ASSERT_EQ(unsetenv("CAMLLM_NO_SIMD"), 0);
 }
 
 TEST(Kernels, LayerNormZeroMeanUnitVar)

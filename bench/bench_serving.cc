@@ -15,12 +15,19 @@
  *     sweep showing how the SLO percentiles respond to load and to
  *     the chunk budget.
  *
+ *  4. A KV capacity sweep (`--kv-sweep` for just this section): the
+ *     same fixed arrival scenario served under shrinking paged-KV
+ *     budgets, recording SLO percentiles, preemption/eviction counts
+ *     and recompute volume per budget point (`kv_sweep.*` keys; the
+ *     50%-budget point also runs in --smoke so CI diffs it).
+ *
  * Emits BENCH_serving.json.
  *
- * Usage: bench_serving [--smoke] [--arrivals]
- *   --smoke     CI subset: batches {1,4}, contended batch 4, and the
- *               SLO smoke scenario.
+ * Usage: bench_serving [--smoke] [--arrivals] [--kv-sweep]
+ *   --smoke     CI subset: batches {1,4}, contended batch 4, the
+ *               SLO smoke scenario and one KV budget point.
  *   --arrivals  arrival-driven sections only (skips batch sweeps).
+ *   --kv-sweep  KV capacity sweep only.
  */
 
 #include <chrono>
@@ -96,17 +103,31 @@ addSlo(bench::BenchJson &json, const std::string &prefix,
     json.add(prefix + ".npu_array_util", s.npu_array_util);
 }
 
+void
+addKv(bench::BenchJson &json, const std::string &prefix,
+      const core::ServeStats &s)
+{
+    addSlo(json, prefix, s);
+    json.add(prefix + ".preemptions", std::uint64_t(s.preemptions));
+    json.add(prefix + ".recompute_tokens", s.recompute_tokens);
+    json.add(prefix + ".kv_blocks_total", s.kv_blocks_total);
+    json.add(prefix + ".kv_blocks_high_water",
+             s.kv_blocks_high_water);
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool smoke = false, arrivals_only = false;
+    bool smoke = false, arrivals_only = false, kv_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
         else if (std::strcmp(argv[i], "--arrivals") == 0)
             arrivals_only = true;
+        else if (std::strcmp(argv[i], "--kv-sweep") == 0)
+            kv_only = true;
     }
     const auto wall0 = std::chrono::steady_clock::now();
     bench::banner("serving: continuous batching, NPU contention, "
@@ -122,7 +143,7 @@ main(int argc, char **argv)
     json.addString("preset", cfg.name);
     json.addString("model", model.name);
 
-    if (!arrivals_only) {
+    if (!arrivals_only && !kv_only) {
         const std::vector<core::RequestSpec> reqs =
             mixedWorkload(smoke ? 8 : 16, 1);
         const std::vector<std::uint32_t> batches =
@@ -277,7 +298,7 @@ main(int argc, char **argv)
         return sched.serve(trace, opt);
     };
 
-    {
+    if (!kv_only) {
         const auto pair = sweep.map<core::ServeStats>(
             2, [&](std::size_t i) {
                 return i == 0
@@ -301,7 +322,7 @@ main(int argc, char **argv)
         addSlo(json, "slo_smoke.chunked256", pair[1]);
     }
 
-    if (!smoke) {
+    if (!smoke && !kv_only) {
         // Arrival-rate sweep: the capacity-planning view. Indices map
         // to (rate x policy) pairs; results stay deterministic and
         // index-ordered under the sweep pool.
@@ -360,6 +381,93 @@ main(int argc, char **argv)
                    kstats[i]);
         }
         t2.print(std::cout);
+    }
+
+    // --- KV capacity sweep ----------------------------------------------
+    // The same fixed arrival scenario under shrinking paged-KV
+    // budgets (block tables of 64 tokens, budgets as a fraction of
+    // the trace's total KV demand). Unbounded is the no-wall
+    // reference; 100% holds every request's final KV at once; below
+    // that the scheduler queues admissions, preempts the
+    // latest-arrived running request and recomputes evicted KV. The
+    // 50% point runs identically in --smoke so CI diffs its keys.
+    {
+        const std::uint32_t block_tokens = 64;
+        const core::ArrivalTrace kv_trace =
+            core::ArrivalTrace::poisson(0.5, 6, 13, shapes);
+        const std::uint64_t token_kv_bytes =
+            std::uint64_t(model.kvDim()) *
+            (llm::QuantSpec::of(cfg.quant).act_bits / 8) *
+            model.n_layers;
+        std::uint64_t demand_blocks = 0;
+        for (const core::ServeRequest &r : kv_trace.requests())
+            demand_blocks += (std::uint64_t(r.context) + r.prompt +
+                              r.decode_tokens + block_tokens - 1) /
+                             block_tokens;
+
+        // (label, percent of total demand; 0 = unbounded)
+        const std::vector<std::pair<std::string, std::uint64_t>>
+            points = smoke
+                         ? std::vector<
+                               std::pair<std::string, std::uint64_t>>{
+                               {"unbounded", 0}, {"budget50", 50}}
+                         : std::vector<
+                               std::pair<std::string, std::uint64_t>>{
+                               {"unbounded", 0},
+                               {"budget100", 100},
+                               {"budget75", 75},
+                               {"budget50", 50}};
+        const auto kstats = sweep.map<core::ServeStats>(
+            points.size(), [&](std::size_t i) {
+                core::SchedOptions opt;
+                opt.max_batch = 4;
+                opt.policy = core::SchedPolicy::ChunkedInterleave;
+                opt.prefill_chunk = 256;
+                opt.npu_contention = true;
+                opt.kv_block_tokens = block_tokens;
+                opt.kv_budget_bytes =
+                    points[i].second == 0
+                        ? 0
+                        : demand_blocks * points[i].second / 100 *
+                              block_tokens * token_kv_bytes;
+                return sched.serve(kv_trace, opt);
+            });
+
+        Table t("SLO vs KV budget (6 Poisson arrivals @ 0.5 req/s, "
+                "batch 4, 64-token blocks, chunked 256)");
+        t.header({"budget", "TTFT p50", "p95", "p99", "TBT p95",
+                  "tok/s", "preempt", "recompute tok", "KV high/total"});
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const core::ServeStats &s = kstats[i];
+            t.row({points[i].first, Table::fmt(s.ttft.p50_ms, 0),
+                   Table::fmt(s.ttft.p95_ms, 0),
+                   Table::fmt(s.ttft.p99_ms, 0),
+                   Table::fmt(s.tbt.p95_ms, 0),
+                   Table::fmt(s.finite_run_tokens_per_s, 2),
+                   Table::fmtInt(s.preemptions),
+                   Table::fmtInt(std::uint32_t(s.recompute_tokens)),
+                   Table::fmtInt(std::uint32_t(
+                       s.kv_blocks_high_water)) +
+                       "/" +
+                       (s.kv_blocks_total == 0
+                            ? std::string("inf")
+                            : Table::fmtInt(std::uint32_t(
+                                  s.kv_blocks_total)))});
+            addKv(json, "kv_sweep." + points[i].first, kstats[i]);
+        }
+        t.print(std::cout);
+
+        // Self-checks: the unbounded reference never preempts, and a
+        // bounded pool never exceeds its capacity.
+        bool kv_sane = kstats[0].preemptions == 0;
+        for (std::size_t i = 1; i < points.size(); ++i)
+            kv_sane = kv_sane && (kstats[i].kv_blocks_total == 0 ||
+                                  kstats[i].kv_blocks_high_water <=
+                                      kstats[i].kv_blocks_total);
+        std::cout << "kv pool sane (no unbounded preemption, high "
+                     "water <= capacity): "
+                  << (kv_sane ? "yes" : "NO") << "\n";
+        json.add("kv_sweep.sane", std::uint64_t(kv_sane ? 1 : 0));
     }
 
     json.add("wall_clock_s",

@@ -105,10 +105,12 @@ class Scheduler;
  *
  * Since the serving-scheduler refactor this is a compatibility facade
  * over core::Scheduler: run() is decode-only FCFS scheduling with
- * free NPU arbitration, which reproduces the original BatchEngine
- * event sequence bit-identically. New code that wants prefill
- * admission, arrival traces, NPU contention or SLO percentiles should
- * use core::Scheduler directly.
+ * free NPU arbitration and an unbounded contiguous KV pool, which
+ * reproduces the original BatchEngine event sequence bit-identically.
+ * New code that wants prefill admission, arrival traces, NPU
+ * contention, SLO percentiles or a bounded paged KV cache
+ * (kv_budget_bytes / kv_block_tokens, with eviction-driven
+ * preemption) should use core::Scheduler directly.
  */
 class BatchEngine
 {

@@ -101,6 +101,49 @@ DecodeStream::contendedNpu() const
     return env_.npu && env_.npu->contended();
 }
 
+const std::vector<std::uint64_t> &
+DecodeStream::kvSegmentsFor(const llm::Op &op)
+{
+    // Map the op onto its logical token range: attention streams the
+    // whole accumulated context from token 0; an append writes the
+    // positions this unit produced (the chunk in prefill, the one new
+    // token in decode).
+    std::uint32_t start = 0, count = 0;
+    if (op.kind == llm::OpKind::KvAppend) {
+        start = prefillMode() ? kv_base_ : seq_;
+        count = prefillMode() ? prefill_tokens_ : 1;
+    } else {
+        start = 0;
+        count = prefillMode() ? kv_base_ + prefill_tokens_ : seq_;
+    }
+    kv_segs_.clear();
+    llm::kvSegmentBytes(kv_view_, op.kv_bytes, start, count,
+                        kv_segs_);
+    return kv_segs_;
+}
+
+void
+DecodeStream::issueKvDram(std::uint32_t id,
+                          const std::vector<std::uint64_t> &segs,
+                          std::function<void()> done)
+{
+    if (segs.size() == 1) {
+        // Contiguous stream (or a range inside one block): the
+        // historical single DRAM burst, event-for-event.
+        env_.dram->request(segs[0], std::move(done));
+        return;
+    }
+    auto &s = st_[id];
+    CAMLLM_ASSERT(s.dram_remaining == 0);
+    s.dram_remaining = std::uint32_t(segs.size());
+    for (std::uint64_t seg : segs)
+        env_.dram->request(seg, [this, id, done] {
+            CAMLLM_ASSERT(st_[id].dram_remaining > 0);
+            if (--st_[id].dram_remaining == 0)
+                done();
+        });
+}
+
 void
 DecodeStream::startToken(std::uint32_t seq, std::uint32_t prefill_tokens,
                          TokenDone done)
@@ -208,11 +251,13 @@ DecodeStream::opReady(std::uint32_t id)
                             [this, id] { complete(id); });
         break;
       case llm::OpKind::KvAppend:
-        env_.dram->request(op.kv_bytes, [this, id] { complete(id); });
+        issueKvDram(id, kvSegmentsFor(op),
+                    [this, id] { complete(id); });
         break;
       case llm::OpKind::KvLoadCompute: {
         npu_flops_ += op.flops;
         const Tick comp = cfg.npu.computeTime(op.flops);
+        const std::vector<std::uint64_t> &segs = kvSegmentsFor(op);
         if (contendedNpu()) {
             // The attention compute occupies the shared array for its
             // full duration; the op finishes when both the KV stream
@@ -223,13 +268,18 @@ DecodeStream::opReady(std::uint32_t id)
                 if (--st_[id].join_remaining == 0)
                     complete(id);
             };
-            env_.dram->request(op.kv_bytes, part);
+            issueKvDram(id, segs, part);
             env_.npu->acquireArray(comp, part);
             break;
         }
-        const Tick serv = env_.dram->serviceTime(op.kv_bytes);
+        // Compute overlaps the KV stream; the tail past the stream's
+        // pure service time (per-block latency included when paged)
+        // extends the op.
+        Tick serv = 0;
+        for (std::uint64_t seg : segs)
+            serv += env_.dram->serviceTime(seg);
         const Tick extra = comp > serv ? comp - serv : 0;
-        env_.dram->request(op.kv_bytes, [this, id, extra] {
+        issueKvDram(id, segs, [this, id, extra] {
             if (extra > 0)
                 env_.eq->scheduleIn(extra, [this, id] { complete(id); });
             else

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "core/engine.h"
@@ -122,6 +123,30 @@ class DecodeStream
      */
     void setReadBudget(std::uint64_t bytes) { read_budget_ = bytes; }
 
+    /**
+     * KV addressing mode for this request's stream. The default
+     * contiguous view issues each attention/append transfer as one
+     * DRAM burst (the historical behavior, bit-exact). A paged view
+     * splits every KV transfer at block boundaries into one DRAM
+     * request per touched block — the block-table indirection of a
+     * paged KV cache, which pays per-block DRAM latency and
+     * interleaves with neighbors at block granularity. A block that
+     * covers the whole stream reproduces the contiguous sequence
+     * bit-identically. Takes effect from the next unit.
+     */
+    void setKvView(llm::KvView view) { kv_view_ = view; }
+
+    /**
+     * Override the WorkClass tag on submitted flash work (set by the
+     * scheduler while KV-recompute prefill chunks run, so re-streamed
+     * weight traffic is accounted apart from first-pass prefill).
+     * std::nullopt restores phase-derived tagging.
+     */
+    void setWorkClass(std::optional<flash::WorkClass> cls)
+    {
+        class_override_ = cls;
+    }
+
     flash::ClientId clientId() const { return client_; }
 
   private:
@@ -134,6 +159,7 @@ class DecodeStream
         std::uint64_t read_total = 0;
         Tick ready_tick = 0; ///< when dependencies were satisfied
         std::uint8_t join_remaining = 0; ///< contended DRAM+array join
+        std::uint32_t dram_remaining = 0; ///< paged-KV segment joins
         bool ready = false;
         bool rc_issued = false;
         bool reads_issued = false;
@@ -144,9 +170,18 @@ class DecodeStream
     bool contendedNpu() const;
     flash::WorkClass workClass() const
     {
+        if (class_override_)
+            return *class_override_;
         return prefillMode() ? flash::WorkClass::Prefill
                              : flash::WorkClass::Decode;
     }
+    /** Fills and returns kv_segs_ (per-stream scratch: the KV DRAM
+     *  paths stay allocation-free after warmup, per the PR 1 hot-path
+     *  contract). Valid until the next call on this stream. */
+    const std::vector<std::uint64_t> &kvSegmentsFor(const llm::Op &op);
+    void issueKvDram(std::uint32_t id,
+                     const std::vector<std::uint64_t> &segs,
+                     std::function<void()> done);
     void beginUnit(TokenDone done);
     const TilePlan &planFor(std::uint64_t rows, std::uint64_t cols) const
     {
@@ -171,6 +206,9 @@ class DecodeStream
     Env env_;
     llm::QuantSpec quant_;
     flash::ClientId client_ = 0;
+    llm::KvView kv_view_; ///< contiguous unless the scheduler pages
+    std::optional<flash::WorkClass> class_override_;
+    std::vector<std::uint64_t> kv_segs_; ///< kvSegmentsFor scratch
 
     std::uint32_t seq_ = 0;
     std::uint32_t prefill_tokens_ = 0;

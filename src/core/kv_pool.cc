@@ -1,0 +1,113 @@
+#include "kv_pool.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace camllm::core {
+
+KvPool::KvPool(std::uint64_t budget_bytes, std::uint32_t block_tokens,
+               std::uint64_t block_bytes)
+    : block_tokens_(block_tokens), block_bytes_(block_bytes)
+{
+    if (budget_bytes == 0) {
+        total_blocks_ = kUnbounded;
+        return;
+    }
+    if (block_tokens_ == 0 || block_bytes_ == 0)
+        fatal("bounded KV pool needs block_tokens >= 1 "
+              "(budget %llu bytes, block_tokens %u)",
+              (unsigned long long)budget_bytes, block_tokens);
+    total_blocks_ = budget_bytes / block_bytes_;
+    if (total_blocks_ == 0)
+        fatal("KV budget %llu bytes is smaller than one %llu-byte "
+              "block",
+              (unsigned long long)budget_bytes,
+              (unsigned long long)block_bytes_);
+}
+
+std::uint64_t
+KvPool::blocksForTokens(std::uint64_t tokens) const
+{
+    if (tokens == 0)
+        return 0;
+    if (block_tokens_ == 0)
+        return 1; // contiguous: the stream is one giant block
+    return (tokens + block_tokens_ - 1) / block_tokens_;
+}
+
+std::uint64_t
+KvPool::freeBlocks() const
+{
+    return bounded() ? total_blocks_ - in_use_ : kUnbounded;
+}
+
+bool
+KvPool::canGrow(const KvBlockTable &t, std::uint64_t tokens) const
+{
+    const std::uint64_t need = blocksForTokens(tokens);
+    if (need <= t.blocks.size())
+        return true;
+    return !bounded() || need - t.blocks.size() <= freeBlocks();
+}
+
+std::uint32_t
+KvPool::allocBlock()
+{
+    std::uint32_t id;
+    if (!free_list_.empty()) {
+        id = free_list_.back();
+        free_list_.pop_back();
+    } else {
+        id = std::uint32_t(refcount_.size());
+        refcount_.push_back(0);
+    }
+    CAMLLM_ASSERT(refcount_[id] == 0, "allocating a live block");
+    refcount_[id] = 1;
+    ++in_use_;
+    ++allocs_;
+    high_water_ = std::max(high_water_, in_use_);
+    return id;
+}
+
+bool
+KvPool::tryGrow(KvBlockTable &t, std::uint64_t tokens)
+{
+    if (!canGrow(t, tokens))
+        return false;
+    const std::uint64_t need = blocksForTokens(tokens);
+    while (t.blocks.size() < need)
+        t.blocks.push_back(allocBlock());
+    return true;
+}
+
+void
+KvPool::release(KvBlockTable &t)
+{
+    for (std::uint32_t b : t.blocks)
+        releaseBlock(b);
+    t.blocks.clear();
+}
+
+void
+KvPool::retain(std::uint32_t block)
+{
+    CAMLLM_ASSERT(block < refcount_.size() && refcount_[block] > 0,
+                  "retain of a dead KV block");
+    ++refcount_[block];
+}
+
+void
+KvPool::releaseBlock(std::uint32_t block)
+{
+    CAMLLM_ASSERT(block < refcount_.size() && refcount_[block] > 0,
+                  "double free of KV block %u", block);
+    if (--refcount_[block] > 0)
+        return;
+    CAMLLM_ASSERT(in_use_ > 0);
+    --in_use_;
+    ++frees_;
+    free_list_.push_back(block);
+}
+
+} // namespace camllm::core

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
 #include "common/logging.h"
 #include "common/stats.h"
 #include "core/decode_stream.h"
+#include "core/kv_pool.h"
 #include "core/npu_arbiter.h"
 #include "flash/flash_system.h"
 #include "npu/dram.h"
@@ -61,6 +63,31 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                       "arrival trace must be time-ordered");
     }
 
+    // The KV pool bounds DRAM KV capacity at full model depth: one
+    // block holds block_tokens positions of K+V across every layer.
+    const llm::QuantSpec quant = llm::QuantSpec::of(config_.quant);
+    const std::uint64_t token_kv_bytes =
+        std::uint64_t(model_.kvDim()) * (quant.act_bits / 8) *
+        model_.n_layers;
+    KvPool pool(opt.kv_budget_bytes, opt.kv_block_tokens,
+                std::uint64_t(opt.kv_block_tokens) * token_kv_bytes);
+
+    const auto finalKvTokens = [](const ServeRequest &s) {
+        return std::uint64_t(s.context) + s.prompt + s.decode_tokens;
+    };
+    if (pool.bounded())
+        for (const ServeRequest &r : requests)
+            if (pool.blocksForTokens(finalKvTokens(r)) >
+                pool.totalBlocks())
+                fatal("request KV demand (%llu tokens = %llu blocks "
+                      "of %u) exceeds the whole KV budget (%llu "
+                      "blocks); it could never be served",
+                      (unsigned long long)finalKvTokens(r),
+                      (unsigned long long)pool.blocksForTokens(
+                          finalKvTokens(r)),
+                      opt.kv_block_tokens,
+                      (unsigned long long)pool.totalBlocks());
+
     // Shared device, same construction order as the single-request
     // engine (and PR 2's BatchEngine) so a decode-only FCFS run
     // replays its exact event sequence.
@@ -82,6 +109,20 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         Tick token_start = 0;
         Tick sim_token_sum = 0; ///< simulated (un-extrapolated) time
         bool finished = false;
+
+        // --- KV pool state ---------------------------------------------
+        KvBlockTable kv;
+        bool admitted = false;
+        bool stalled = false;   ///< at a boundary, pool dry
+        bool preempted = false; ///< evicted, waiting to resume
+        bool preempt_pending = false; ///< evict at next step end
+        bool resumed = false;   ///< holds a full reservation
+        bool first_emitted = false;
+        std::uint32_t recompute_left = 0; ///< KV positions to rebuild
+        std::uint32_t recompute_base = 0; ///< rebuilt so far
+        Tick blocked_since = 0;
+        Tick blocked_pre_ft = 0;    ///< KV-blocked sim before 1st token
+        Tick recompute_pre_ft = 0;  ///< recompute service before it
     };
 
     std::vector<ReqRun> runs(requests.size());
@@ -90,6 +131,8 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     std::uint64_t finished = 0;
     bool wake_pending = false;
     SampleSet tbt_ms;
+    std::uint32_t total_preemptions = 0;
+    std::uint64_t total_recompute_tokens = 0;
 
     DecodeStream::Env base;
     base.model = &model_;
@@ -112,6 +155,89 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
 
     std::function<void(std::size_t)> startNext;
     std::function<void()> admit;
+    std::function<void()> onFree;
+    std::function<void(std::size_t)> evictRun;
+
+    const auto accountUnblock = [&](ReqRun &r) {
+        const Tick span = eq.now() - r.blocked_since;
+        r.stats.kv_blocked_time += span;
+        if (!r.first_emitted)
+            r.blocked_pre_ft += span;
+    };
+
+    // Victim policy: the lowest-priority (latest-arrived) running
+    // request that does not hold a full reservation. Older requests
+    // are deep in decode while the newest is typically still
+    // prefilling, so eviction lands on young prefills first — the
+    // ROADMAP's decode-priority preemption. One eviction is in flight
+    // at a time; a mid-step victim is evicted at its next unit
+    // boundary, a stalled one (including the requester itself)
+    // immediately. When every active run is resumed there is no
+    // victim: the requester waits for a retirement, which resumed
+    // runs — they can never stall — are guaranteed to reach.
+    const auto maybePreempt = [&] {
+        for (const ReqRun &r : runs)
+            if (r.preempt_pending)
+                return;
+        std::size_t victim = runs.size();
+        for (std::size_t j = 0; j < runs.size(); ++j) {
+            const ReqRun &r = runs[j];
+            if (r.admitted && !r.finished && !r.preempted &&
+                !r.resumed)
+                victim = j;
+        }
+        if (victim == runs.size())
+            return;
+        if (runs[victim].stalled)
+            evictRun(victim);
+        else
+            runs[victim].preempt_pending = true;
+    };
+
+    // Grow @p i's block table to cover @p tokens, or stall the
+    // request and go looking for a victim.
+    const auto ensureKv = [&](std::size_t i, std::uint64_t tokens) {
+        ReqRun &r = runs[i];
+        if (pool.tryGrow(r.kv, tokens)) {
+            if (r.stalled) {
+                r.stalled = false;
+                accountUnblock(r);
+            }
+            return true;
+        }
+        if (!r.stalled) {
+            r.stalled = true;
+            r.blocked_since = eq.now();
+        }
+        maybePreempt();
+        return false;
+    };
+
+    evictRun = [&](std::size_t j) {
+        ReqRun &r = runs[j];
+        CAMLLM_ASSERT(r.admitted && !r.finished && !r.preempted);
+        if (!r.stalled)
+            r.blocked_since = eq.now();
+        r.stalled = false;
+        r.preempt_pending = false;
+        r.preempted = true;
+        // Everything the request has written must be rebuilt before
+        // it can continue: warm context, prefilled prompt positions
+        // and the KV of every decoded token.
+        r.recompute_left = std::uint32_t(
+            r.spec.context + r.prefill_done + r.tokens_done);
+        r.recompute_base = 0;
+        pool.release(r.kv);
+        ++r.stats.preemptions;
+        ++total_preemptions;
+        CAMLLM_ASSERT(active > 0);
+        --active;
+        // Budget the survivors for the new concurrency BEFORE any
+        // woken waiter issues work (admit()/resume rebudget again if
+        // they change the count).
+        rebudget();
+        onFree();
+    };
 
     const auto onChunkDone = [&](std::size_t i, const TokenStats &s) {
         ReqRun &r = runs[i];
@@ -125,8 +251,29 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             // first token.
             r.stats.first_token = s;
             r.stats.first_token_tick = eq.now();
+            r.first_emitted = true;
+        }
+        if (r.preempt_pending) {
+            evictRun(i);
+            return;
         }
         startNext(i); // next chunk, or the first decode step
+    };
+
+    const auto onRecomputeDone = [&](std::size_t i,
+                                     const TokenStats &s) {
+        ReqRun &r = runs[i];
+        r.sim_token_sum += eq.now() - r.token_start;
+        r.stats.recompute_time += s.token_time;
+        ++r.stats.recompute_chunks;
+        if (!r.first_emitted)
+            r.recompute_pre_ft += s.token_time;
+        r.recompute_base += r.cur_chunk;
+        CAMLLM_ASSERT(r.recompute_left >= r.cur_chunk);
+        r.recompute_left -= r.cur_chunk;
+        total_recompute_tokens += r.cur_chunk;
+        r.cur_chunk = 0;
+        startNext(i); // next recompute chunk, or where it left off
     };
 
     const auto onTokenDone = [&](std::size_t i, const TokenStats &s) {
@@ -138,26 +285,60 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             // first token (BatchEngine-compatible first_token).
             r.stats.first_token = s;
             r.stats.first_token_tick = eq.now();
+            r.first_emitted = true;
         } else {
             tbt_ms.add(double(s.token_time) / double(kMs));
         }
         ++r.tokens_done;
         if (r.tokens_done < r.spec.decode_tokens) {
+            if (r.preempt_pending) {
+                evictRun(i);
+                return;
+            }
             startNext(i); // continuous: no batch barrier
             return;
         }
         r.finished = true;
+        r.preempt_pending = false; // retiring beats a pending evict
         r.stats.finish_tick = eq.now();
         ++finished;
         CAMLLM_ASSERT(active > 0);
         --active;
-        admit(); // refill the slot at the same tick
-        rebudget();
+        pool.release(r.kv);
+        rebudget(); // survivors' share first, as in evictRun
+        onFree();   // refill the slot / wake KV waiters, same tick
     };
 
     startNext = [&](std::size_t i) {
         ReqRun &r = runs[i];
-        r.token_start = eq.now();
+        // A pending eviction lands at the next unit boundary — which
+        // for a victim that never issued its first unit (deferred
+        // start via stagger or arrival) is right here.
+        if (r.preempt_pending) {
+            evictRun(i);
+            return;
+        }
+        // KV RECOMPUTE: rebuild evicted entries as prefill chunks
+        // under the policy's budget. No token is emitted (last_chunk
+        // = false), and the re-streamed weight traffic is tagged
+        // WorkClass::Recompute. A resumed run holds a full
+        // reservation, so its ensureKv can never stall.
+        if (r.recompute_left > 0) {
+            const std::uint32_t chunk =
+                opt.policy == SchedPolicy::ChunkedInterleave
+                    ? std::min(opt.prefill_chunk, r.recompute_left)
+                    : r.recompute_left;
+            if (!ensureKv(i, std::uint64_t(r.recompute_base) + chunk))
+                return;
+            r.cur_chunk = chunk;
+            r.cfg.seq_len = r.recompute_base + chunk;
+            r.token_start = eq.now();
+            r.stream->setWorkClass(flash::WorkClass::Recompute);
+            r.stream->startPrefillChunk(
+                chunk, r.recompute_base, /*last_chunk=*/false,
+                [&, i](const TokenStats &s) { onRecomputeDone(i, s); });
+            return;
+        }
         if (r.prefill_done < r.spec.prompt) {
             // PREFILL: the next chunk under the policy's token
             // budget; FCFS takes the whole remaining prompt at once.
@@ -167,11 +348,15 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                 opt.policy == SchedPolicy::ChunkedInterleave
                     ? std::min(opt.prefill_chunk, remaining)
                     : remaining;
-            const bool last = chunk == remaining;
-            r.cur_chunk = chunk;
             const std::uint32_t kv_base =
                 r.spec.context + r.prefill_done;
+            if (!ensureKv(i, std::uint64_t(kv_base) + chunk))
+                return;
+            const bool last = chunk == remaining;
+            r.cur_chunk = chunk;
             r.cfg.seq_len = kv_base + chunk;
+            r.token_start = eq.now();
+            r.stream->setWorkClass(std::nullopt);
             r.stream->startPrefillChunk(
                 chunk, kv_base, last,
                 [&, i](const TokenStats &s) { onChunkDone(i, s); });
@@ -180,7 +365,11 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         // DECODE: the request's KV stream grows with every token.
         const std::uint32_t seq =
             r.spec.context + r.spec.prompt + r.tokens_done;
+        if (!ensureKv(i, std::uint64_t(seq) + 1)) // appends one token
+            return;
         r.cfg.seq_len = seq;
+        r.token_start = eq.now();
+        r.stream->setWorkClass(std::nullopt);
         r.stream->startToken(seq, 0, [&, i](const TokenStats &s) {
             onTokenDone(i, s);
         });
@@ -203,6 +392,13 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                 }
                 break;
             }
+            // Admission requires the request's warm context KV to be
+            // resident; a dry pool queues the head FCFS (admission
+            // never preempts — only running requests' growth does)
+            // and retries on the next block free.
+            if (spec.context > 0 &&
+                !pool.tryGrow(runs[next_admit].kv, spec.context))
+                break;
             const std::size_t i = next_admit++;
             ReqRun &r = runs[i];
             r.spec = spec;
@@ -215,6 +411,8 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             DecodeStream::Env env = base;
             env.cfg = &r.cfg;
             r.stream = std::make_unique<DecodeStream>(env);
+            r.stream->setKvView(llm::KvView{opt.kv_block_tokens});
+            r.admitted = true;
             ++active;
             started.push_back(i);
         }
@@ -243,12 +441,52 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         }
     };
 
+    onFree = [&] {
+        // 1. Stalled running requests retry first (they hold blocks
+        //    and are mid-request — decode priority), arrival order.
+        //    startNext re-derives the pending unit and either issues
+        //    it or re-stalls.
+        for (std::size_t i = 0; i < runs.size(); ++i)
+            if (runs[i].stalled)
+                startNext(i);
+        // 2. Evicted requests resume strictly FCFS, each only with a
+        //    reservation for its full final KV demand — a resumed run
+        //    can never stall again, which keeps the schedule
+        //    livelock-free (and means a request is evicted at most
+        //    once).
+        std::vector<std::size_t> resumed_now;
+        for (std::size_t i = 0; i < runs.size(); ++i) {
+            ReqRun &r = runs[i];
+            if (!r.preempted)
+                continue;
+            if (!pool.tryGrow(r.kv, finalKvTokens(r.spec)))
+                break;
+            r.preempted = false;
+            r.resumed = true;
+            accountUnblock(r);
+            ++active;
+            resumed_now.push_back(i);
+        }
+        if (!resumed_now.empty()) {
+            rebudget();
+            for (std::size_t i : resumed_now)
+                startNext(i);
+        }
+        // 3. New admissions last.
+        admit();
+    };
+
     admit();
     initial_wave = false;
     eq.run();
     CAMLLM_ASSERT(finished == runs.size(),
                   "only %llu of %zu requests completed",
                   (unsigned long long)finished, runs.size());
+    // Drain audit: every retire released its whole block table.
+    CAMLLM_ASSERT(pool.leakedBlocks() == 0,
+                  "%llu KV blocks leaked at drain",
+                  (unsigned long long)pool.leakedBlocks());
+    CAMLLM_ASSERT(pool.allocCount() == pool.freeCount());
 
     ServeStats out;
     out.max_batch = opt.max_batch;
@@ -269,7 +507,8 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         if (st.prompt > 0)
             ++out.total_tokens; // the prefill-emitted first token
         sim_sum += r.sim_token_sum;
-        ext_sum += st.total_token_time + st.prefill_time;
+        ext_sum += st.total_token_time + st.prefill_time +
+                   st.recompute_time;
         rate_sum += st.tokens_per_s;
         rate_sq_sum += st.tokens_per_s * st.tokens_per_s;
         out.requests.push_back(std::move(st));
@@ -296,14 +535,20 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
 
     // Latency SLOs in depth-extrapolated milliseconds. Service spans
     // are the sum of per-step extrapolated times (contention stalls
-    // included in each step's span); the queue-wait term is sim time
-    // scaled by the run's measured extrapolation factor.
+    // included in each step's span); queue-wait, KV-stall and
+    // eviction waits are sim time scaled by the run's measured
+    // extrapolation factor, and pre-first-token recompute is service
+    // time. With an unbounded pool the KV terms are all zero and the
+    // formula reduces to the pre-paging one exactly.
     SampleSet ttft_ms;
-    for (ServeRequestStats &st : out.requests) {
+    for (std::size_t i = 0; i < out.requests.size(); ++i) {
+        ServeRequestStats &st = out.requests[i];
         const double wait =
-            double(st.admit_tick - st.arrival) *
+            (double(st.admit_tick - st.arrival) +
+             double(runs[i].blocked_pre_ft)) *
             out.extrapolation_factor;
-        double ttft = wait + double(st.prefill_time);
+        double ttft = wait + double(st.prefill_time) +
+                      double(runs[i].recompute_pre_ft);
         if (st.prompt == 0)
             ttft += double(st.first_token.token_time);
         st.ttft_ms = ttft / double(kMs);
@@ -330,6 +575,15 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         fs.deliveredBytes(flash::WorkClass::Prefill);
     out.decode_channel_bytes =
         fs.deliveredBytes(flash::WorkClass::Decode);
+    out.recompute_channel_bytes =
+        fs.deliveredBytes(flash::WorkClass::Recompute);
+
+    out.preemptions = total_preemptions;
+    out.recompute_tokens = total_recompute_tokens;
+    out.kv_blocks_total = pool.bounded() ? pool.totalBlocks() : 0;
+    out.kv_blocks_high_water = pool.highWaterBlocks();
+    out.kv_block_allocs = pool.allocCount();
+    out.kv_block_frees = pool.freeCount();
     return out;
 }
 

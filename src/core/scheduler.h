@@ -27,6 +27,22 @@
  * scheduler admits FCFS into `max_batch` slots as arrivals land and
  * slots retire. Per-request TTFT and per-token TBT are reported in
  * depth-extrapolated milliseconds with p50/p95/p99 summaries.
+ *
+ * KV memory is bounded the way a real device bounds it: a
+ * core::KvPool divides a configurable DRAM budget into fixed
+ * token-blocks, each request maps its KV stream onto a block table
+ * (llm::KvView — paged DRAM addressing at block granularity), and
+ * admission/steps allocate blocks as KV grows. When the pool is dry a
+ * request stalls and the scheduler preempts the lowest-priority
+ * (latest-arrived) running request — older requests are deep in
+ * decode, so eviction lands on young prefills first, the
+ * decode-priority policy. An evicted request loses all its blocks
+ * and re-enters PREFILL to recompute them (weights re-stream, tagged
+ * flash::WorkClass::Recompute); it resumes only when its full final
+ * KV demand fits, which guarantees it never stalls again and the
+ * schedule stays livelock-free. With an unbounded budget every
+ * capacity effect is off and the event sequence replays the
+ * pre-paging scheduler bit-identically.
  */
 
 #ifndef CAMLLM_CORE_SCHEDULER_H
@@ -67,6 +83,27 @@ struct SchedOptions
     /** Initial-wave stagger: slot i of the first admission wave
      *  starts i * stagger ticks in (PR 2 BatchEngine semantics). */
     Tick admission_stagger = 0;
+
+    /**
+     * DRAM bytes reserved for the KV cache (full model depth); 0 =
+     * unbounded. An unbounded pool disables every capacity effect —
+     * admission, preemption and eviction never trigger, and the event
+     * sequence replays the pre-paging scheduler bit-identically
+     * (enforced by tests). A bounded budget requires
+     * kv_block_tokens >= 1 and must fit every request's final KV
+     * demand on its own (fatal otherwise); under pressure the
+     * scheduler queues admissions and preempts (see serve()).
+     */
+    std::uint64_t kv_budget_bytes = 0;
+
+    /**
+     * Paged-KV block granularity in tokens; 0 keeps contiguous
+     * per-request KV streams. When paged, every KV transfer splits at
+     * block boundaries into per-block DRAM requests (a block covering
+     * the whole stream is bit-identical to contiguous), and KV
+     * capacity is allocated block-wise from the pool.
+     */
+    std::uint32_t kv_block_tokens = 0;
 };
 
 /** Measured results of one served request. */
@@ -99,6 +136,17 @@ struct ServeRequestStats
 
     double ttft_ms = 0.0;     ///< queue wait + service to first token
     double mean_tbt_ms = 0.0; ///< mean time between subsequent tokens
+
+    /** Times this request was evicted under KV pressure. */
+    std::uint32_t preemptions = 0;
+
+    /** Extrapolated time spent rebuilding evicted KV (prefill
+     *  re-runs that emit no tokens). */
+    Tick recompute_time = 0;
+    std::uint32_t recompute_chunks = 0;
+
+    /** Sim ticks spent stalled or evicted waiting for KV blocks. */
+    Tick kv_blocked_time = 0;
 };
 
 /** Distribution summary of a latency metric (milliseconds). */
@@ -142,6 +190,18 @@ struct ServeStats
     /** Channel payload delivered per serving phase. */
     std::uint64_t prefill_channel_bytes = 0;
     std::uint64_t decode_channel_bytes = 0;
+
+    /** Channel payload re-streamed to rebuild evicted KV. */
+    std::uint64_t recompute_channel_bytes = 0;
+
+    // --- KV pool (kv_budget_bytes / kv_block_tokens) -------------------
+    std::uint32_t preemptions = 0;       ///< evictions across requests
+    std::uint64_t recompute_tokens = 0;  ///< KV positions rebuilt
+
+    std::uint64_t kv_blocks_total = 0;   ///< pool capacity (0 = unbounded)
+    std::uint64_t kv_blocks_high_water = 0;
+    std::uint64_t kv_block_allocs = 0;
+    std::uint64_t kv_block_frees = 0;    ///< == allocs after drain audit
 };
 
 /** Multi-request prefill + decode co-scheduling simulation. */

@@ -106,7 +106,7 @@ class ChannelEngine
     std::deque<ReadPageJob> read_queue_;
     std::size_t rr_die_ = 0; ///< round-robin cursor for read dispatch
 
-    std::uint64_t delivered_bytes_[kWorkClasses] = {0, 0};
+    std::uint64_t delivered_bytes_[kWorkClasses] = {};
 };
 
 } // namespace camllm::flash

@@ -27,10 +27,16 @@ using ClientId = std::uint32_t;
 enum class WorkClass : std::uint8_t
 {
     Decode = 0,
-    Prefill = 1
+    Prefill = 1,
+
+    /** Prefill re-run to rebuild the KV of a preempted-and-evicted
+     *  request: weights re-stream through the channels, and the
+     *  scheduler reports that overhead separately from first-pass
+     *  prefill traffic. */
+    Recompute = 2
 };
 
-inline constexpr std::size_t kWorkClasses = 2;
+inline constexpr std::size_t kWorkClasses = 3;
 
 /**
  * One atomic tile of a read-compute request, i.e.\ the single weight

@@ -1,5 +1,7 @@
 #include "opgraph.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace camllm::llm {
@@ -240,6 +242,36 @@ rebindDecodeGraphSeq(DecodeGraph &g, const ModelConfig &model,
             op.sfu_elems = double(model.n_heads) * seq;
             op.flops = op.sfu_elems;
         }
+    }
+}
+
+void
+kvSegmentBytes(const KvView &view, std::uint64_t bytes,
+               std::uint32_t start_tok, std::uint32_t count,
+               std::vector<std::uint64_t> &out)
+{
+    CAMLLM_ASSERT(count > 0 && bytes > 0);
+    const std::uint32_t bt = view.block_tokens;
+    if (!view.paged() ||
+        start_tok / bt == (start_tok + count - 1) / bt) {
+        out.push_back(bytes); // contiguous, or inside one block
+        return;
+    }
+    const std::uint64_t per_tok = bytes / count;
+    CAMLLM_ASSERT(per_tok > 0, "KV transfer smaller than its tokens");
+    std::uint32_t tok = start_tok;
+    std::uint64_t left = bytes;
+    while (tok < start_tok + count) {
+        const std::uint32_t block_end = (tok / bt + 1) * bt;
+        const std::uint32_t n =
+            std::min(block_end, start_tok + count) - tok;
+        // The final segment absorbs the per-token rounding remainder.
+        const std::uint64_t seg = (tok + n == start_tok + count)
+                                      ? left
+                                      : per_tok * n;
+        out.push_back(seg);
+        left -= seg;
+        tok += n;
     }
 }
 

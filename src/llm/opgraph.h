@@ -134,6 +134,38 @@ DecodeGraph buildPrefillChunkGraph(const ModelConfig &model,
 void rebindDecodeGraphSeq(DecodeGraph &g, const ModelConfig &model,
                           const QuantSpec &quant, std::uint32_t seq);
 
+/**
+ * Block-table view of one request's KV stream. With block_tokens == 0
+ * the stream is contiguous (one giant block): every KV transfer is a
+ * single DRAM burst, the historical addressing. With block_tokens > 0
+ * the logical token axis is paged: a transfer covering tokens
+ * [start, start + count) is split at block boundaries into one DRAM
+ * request per touched block, so scattered pages pay per-request DRAM
+ * latency instead of streaming as one burst. A block large enough to
+ * hold the whole stream degenerates to the contiguous case exactly.
+ */
+struct KvView
+{
+    std::uint32_t block_tokens = 0; ///< 0 = contiguous stream
+
+    bool paged() const { return block_tokens != 0; }
+};
+
+/**
+ * Partition a KV transfer of @p bytes covering logical tokens
+ * [@p start_tok, @p start_tok + @p count) into per-block DRAM segment
+ * sizes under @p view, appended to @p out. Bytes are apportioned
+ * per token (bytes / count each, remainder on the last segment), so
+ * the segment sum is always exactly @p bytes. A contiguous view (or a
+ * range inside one block) yields a single segment — the decode graph
+ * and the prefill-chunk graph rebind their KV traffic through this
+ * one helper, which is what keeps the one-giant-block path
+ * bit-identical to contiguous KV.
+ */
+void kvSegmentBytes(const KvView &view, std::uint64_t bytes,
+                    std::uint32_t start_tok, std::uint32_t count,
+                    std::vector<std::uint64_t> &out);
+
 } // namespace camllm::llm
 
 #endif // CAMLLM_LLM_OPGRAPH_H

@@ -159,6 +159,46 @@ TEST(Accumulator, SingleSampleVarianceZero)
     EXPECT_DOUBLE_EQ(a.variance(), 0.0);
 }
 
+TEST(SampleSet, EmptySetIsAllZero)
+{
+    SampleSet s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 0.0);
+}
+
+TEST(SampleSet, SingleSampleIsEveryPercentile)
+{
+    SampleSet s;
+    s.add(7.25);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 7.25);
+    EXPECT_DOUBLE_EQ(s.max(), 7.25);
+    for (double p : {0.0, 1.0, 50.0, 95.0, 99.0, 100.0})
+        EXPECT_DOUBLE_EQ(s.percentile(p), 7.25) << "p" << p;
+}
+
+TEST(SampleSet, NearestRankPercentiles)
+{
+    SampleSet s;
+    // Unsorted on purpose: percentile() sorts lazily.
+    for (double v : {30.0, 10.0, 50.0, 20.0, 40.0})
+        s.add(v);
+    EXPECT_DOUBLE_EQ(s.percentile(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(s.percentile(20.0), 10.0); // rank ceil(1) = 1st
+    EXPECT_DOUBLE_EQ(s.percentile(50.0), 30.0);
+    EXPECT_DOUBLE_EQ(s.percentile(95.0), 50.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 50.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 30.0);
+    // Interleaving add() with queries keeps the order stats fresh.
+    s.add(60.0);
+    EXPECT_DOUBLE_EQ(s.percentile(100.0), 60.0);
+    EXPECT_DOUBLE_EQ(s.max(), 60.0);
+}
+
 TEST(BusyTracker, AccumulatesIntervals)
 {
     BusyTracker b;

@@ -326,6 +326,84 @@ TEST(Scheduler, TraceFileRoundTrips)
     std::remove(path.c_str());
 }
 
+// File-replay error paths: malformed lines, empty traces and
+// time-travelling arrivals are user errors the loader must refuse
+// loudly instead of serving a silently-wrong trace.
+class TraceFileErrors : public ::testing::Test
+{
+  protected:
+    std::string
+    write(const char *name, const char *content)
+    {
+        const std::string path = ::testing::TempDir() + name;
+        std::ofstream out(path);
+        out << content;
+        return path;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const std::string &p : created_)
+            std::remove(p.c_str());
+    }
+
+    std::vector<std::string> created_;
+};
+
+TEST_F(TraceFileErrors, MissingFileIsFatal)
+{
+    EXPECT_EXIT(ArrivalTrace::fromFile("/nonexistent/trace.txt"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST_F(TraceFileErrors, MalformedLineIsFatal)
+{
+    const std::string path =
+        write("camllm_trace_bad.txt", "0 256 2\nnot a request\n");
+    created_.push_back(path);
+    EXPECT_EXIT(ArrivalTrace::fromFile(path),
+                ::testing::ExitedWithCode(1),
+                "expected 'arrival_us prompt decode");
+}
+
+TEST_F(TraceFileErrors, EmptyTraceIsFatal)
+{
+    const std::string path = write("camllm_trace_empty.txt",
+                                   "# only comments\n\n   \n");
+    created_.push_back(path);
+    EXPECT_DEATH(ArrivalTrace::fromFile(path), "no requests");
+}
+
+TEST_F(TraceFileErrors, OutOfOrderArrivalIsFatal)
+{
+    const std::string path = write("camllm_trace_ooo.txt",
+                                   "2000 256 2\n1000 256 2\n");
+    created_.push_back(path);
+    EXPECT_DEATH(ArrivalTrace::fromFile(path), "non-decreasing");
+}
+
+TEST_F(TraceFileErrors, InvalidRequestShapeIsFatal)
+{
+    // decode_tokens == 0 and prompt + context == 0 are both invalid.
+    const std::string path =
+        write("camllm_trace_shape.txt", "0 256 0\n");
+    created_.push_back(path);
+    EXPECT_DEATH(ArrivalTrace::fromFile(path), "invalid request");
+    const std::string path2 =
+        write("camllm_trace_shape2.txt", "0 0 2\n");
+    created_.push_back(path2);
+    EXPECT_DEATH(ArrivalTrace::fromFile(path2), "invalid request");
+}
+
+TEST_F(TraceFileErrors, NegativeArrivalIsFatal)
+{
+    const std::string path =
+        write("camllm_trace_neg.txt", "-5 256 2\n");
+    created_.push_back(path);
+    EXPECT_DEATH(ArrivalTrace::fromFile(path), "invalid request");
+}
+
 // Serializing systolic-array/SFU time must never speed a run up, and
 // at high batch it must slow the shared device down measurably while
 // reporting nonzero array occupancy.

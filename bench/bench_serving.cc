@@ -21,13 +21,26 @@
  *     and recompute volume per budget point (`kv_sweep.*` keys; the
  *     50%-budget point also runs in --smoke so CI diffs it).
  *
+ *  5. A fault sweep (`--fault-sweep` for just this section): the SLO
+ *     smoke scenario served under a grid of uncorrectable-page rates
+ *     x channel-loss scenarios (healthy / 8x slowdown window /
+ *     permanent channel death), with per-request deadlines and SLO
+ *     shedding armed, recording goodput, shed/timeout counts, retry
+ *     and remap traffic and TTFT percentiles per point
+ *     (`fault_sweep.*` keys; the worst point also runs in --smoke).
+ *     The zero-fault point self-checks bit-identical against a run
+ *     without any resilience knob armed.
+ *
  * Emits BENCH_serving.json.
  *
  * Usage: bench_serving [--smoke] [--arrivals] [--kv-sweep]
- *   --smoke     CI subset: batches {1,4}, contended batch 4, the
- *               SLO smoke scenario and one KV budget point.
- *   --arrivals  arrival-driven sections only (skips batch sweeps).
- *   --kv-sweep  KV capacity sweep only.
+ *                      [--fault-sweep]
+ *   --smoke       CI subset: batches {1,4}, contended batch 4, the
+ *                 SLO smoke scenario, one KV budget point and one
+ *                 fault point.
+ *   --arrivals    arrival-driven sections only (skips batch sweeps).
+ *   --kv-sweep    KV capacity sweep only.
+ *   --fault-sweep fault sweep only.
  */
 
 #include <chrono>
@@ -120,7 +133,8 @@ addKv(bench::BenchJson &json, const std::string &prefix,
 int
 main(int argc, char **argv)
 {
-    bool smoke = false, arrivals_only = false, kv_only = false;
+    bool smoke = false, arrivals_only = false, kv_only = false,
+         fault_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
@@ -128,6 +142,8 @@ main(int argc, char **argv)
             arrivals_only = true;
         else if (std::strcmp(argv[i], "--kv-sweep") == 0)
             kv_only = true;
+        else if (std::strcmp(argv[i], "--fault-sweep") == 0)
+            fault_only = true;
     }
     const auto wall0 = std::chrono::steady_clock::now();
     bench::banner("serving: continuous batching, NPU contention, "
@@ -143,7 +159,7 @@ main(int argc, char **argv)
     json.addString("preset", cfg.name);
     json.addString("model", model.name);
 
-    if (!arrivals_only && !kv_only) {
+    if (!arrivals_only && !kv_only && !fault_only) {
         const std::vector<core::RequestSpec> reqs =
             mixedWorkload(smoke ? 8 : 16, 1);
         const std::vector<std::uint32_t> batches =
@@ -298,7 +314,7 @@ main(int argc, char **argv)
         return sched.serve(trace, opt);
     };
 
-    if (!kv_only) {
+    if (!kv_only && !fault_only) {
         const auto pair = sweep.map<core::ServeStats>(
             2, [&](std::size_t i) {
                 return i == 0
@@ -322,7 +338,7 @@ main(int argc, char **argv)
         addSlo(json, "slo_smoke.chunked256", pair[1]);
     }
 
-    if (!smoke && !kv_only) {
+    if (!smoke && !kv_only && !fault_only) {
         // Arrival-rate sweep: the capacity-planning view. Indices map
         // to (rate x policy) pairs; results stay deterministic and
         // index-ordered under the sweep pool.
@@ -391,7 +407,7 @@ main(int argc, char **argv)
     // that the scheduler queues admissions, preempts the
     // latest-arrived running request and recomputes evicted KV. The
     // 50% point runs identically in --smoke so CI diffs its keys.
-    {
+    if (!fault_only) {
         const std::uint32_t block_tokens = 64;
         const core::ArrivalTrace kv_trace =
             core::ArrivalTrace::poisson(0.5, 6, 13, shapes);
@@ -468,6 +484,175 @@ main(int argc, char **argv)
                      "water <= capacity): "
                   << (kv_sane ? "yes" : "NO") << "\n";
         json.add("kv_sweep.sane", std::uint64_t(kv_sane ? 1 : 0));
+    }
+
+    // --- fault sweep ----------------------------------------------------
+    // The SLO smoke scenario under a grid of uncorrectable-page rates
+    // (0 / 1% / 5%, NAND read-retry ladders) x channel-loss scenarios
+    // (healthy / channel 0 at 1/8 rate for 10 simulated seconds /
+    // channel 0 dead mid-run with weight remap), served with a
+    // per-request deadline and SLO shedding armed so the resilience
+    // paths run under fault load. Goodput counts only completed
+    // requests' tokens — the metric faults degrade. The worst point
+    // runs identically in --smoke so CI diffs its keys; full runs
+    // self-check the zero-fault point bit-identical against a serve
+    // with no resilience knob armed and goodput/TTFT monotone along
+    // the fault-rate axis.
+    if (!kv_only) {
+        struct UcpPoint
+        {
+            const char *label;
+            double ucp;
+        };
+        struct LossPoint
+        {
+            const char *label;
+            int kind; // 0 none, 1 slowdown window, 2 offline
+        };
+        const UcpPoint ucps[] = {
+            {"ucp0", 0.0}, {"ucp1", 0.01}, {"ucp5", 0.05}};
+        const LossPoint losses[] = {
+            {"none", 0}, {"slow", 1}, {"offline", 2}};
+
+        const auto faultOpts = [&](double ucp, int loss) {
+            core::SchedOptions opt;
+            opt.max_batch = 4;
+            opt.policy = core::SchedPolicy::ChunkedInterleave;
+            opt.prefill_chunk = 256;
+            // Contention off: serializing the shared array couples the
+            // streams' layer phases, and retry jitter can *decorrelate*
+            // them — heavy faults then land fewer arbiter collisions
+            // and the contended makespan improves (same resonance the
+            // batch sweep's npu_contention_sane check allows 2% for).
+            // The fault axis is only interpretable uncontended.
+            opt.npu_contention = false;
+            opt.request_deadline = 60 * kSec;
+            opt.slo_ttft_ms = 300000.0; // 300 s extrapolated
+            opt.degrade = core::DegradePolicy::ShedNewest;
+            opt.faults.ucp_rate = ucp;
+            opt.faults.seed = 17;
+            if (loss == 1)
+                opt.faults.addSlowdown(0, 8.0, 2 * kSec, 12 * kSec);
+            else if (loss == 2)
+                opt.faults.addOffline(0, 5 * kSec);
+            return opt;
+        };
+
+        // (ucp index, loss index) grid; smoke runs the worst corner.
+        std::vector<std::pair<std::size_t, std::size_t>> grid;
+        if (smoke)
+            grid.push_back({2, 2});
+        else
+            for (std::size_t l = 0; l < 3; ++l)
+                for (std::size_t u = 0; u < 3; ++u)
+                    grid.push_back({u, l});
+
+        const auto fstats = sweep.map<core::ServeStats>(
+            grid.size(), [&](std::size_t i) {
+                return sched.serve(smoke_trace,
+                                   faultOpts(ucps[grid[i].first].ucp,
+                                             losses[grid[i].second]
+                                                 .kind));
+            });
+
+        Table t("Fault sweep (SLO smoke scenario; deadline 60 s sim, "
+                "TTFT SLO 300 s, shed-newest)");
+        t.header({"point", "goodput tok/s", "done", "shed", "timeout",
+                  "retries", "retry MB", "remap MB", "TTFT p95",
+                  "p99"});
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const core::ServeStats &s = fstats[i];
+            const std::string name =
+                std::string(ucps[grid[i].first].label) + "_" +
+                losses[grid[i].second].label;
+            t.row({name, Table::fmt(s.goodput_tokens_per_s, 4),
+                   Table::fmtInt(s.completed),
+                   Table::fmtInt(s.shed_slo),
+                   Table::fmtInt(s.timeouts),
+                   Table::fmtInt(std::uint32_t(s.read_retries)),
+                   Table::fmt(double(s.retry_channel_bytes) / 1e6, 1),
+                   Table::fmt(double(s.remap_bytes) / 1e6, 1),
+                   Table::fmt(s.ttft.p95_ms, 0),
+                   Table::fmt(s.ttft.p99_ms, 0)});
+            const std::string p = "fault_sweep." + name;
+            json.add(p + ".goodput_tokens_per_s",
+                     s.goodput_tokens_per_s);
+            json.add(p + ".completed", std::uint64_t(s.completed));
+            json.add(p + ".shed_slo", std::uint64_t(s.shed_slo));
+            json.add(p + ".timeouts", std::uint64_t(s.timeouts));
+            json.add(p + ".read_retries", s.read_retries);
+            json.add(p + ".retry_channel_mb",
+                     double(s.retry_channel_bytes) / 1e6);
+            json.add(p + ".remap_mb", double(s.remap_bytes) / 1e6);
+            json.add(p + ".channels_lost",
+                     std::uint64_t(s.channels_lost));
+            json.add(p + ".ttft.p95_ms", s.ttft.p95_ms);
+            json.add(p + ".ttft.p99_ms", s.ttft.p99_ms);
+        }
+        t.print(std::cout);
+
+        // Accounting balance at every point: nothing vanishes.
+        bool balanced = true;
+        for (const core::ServeStats &s : fstats)
+            balanced = balanced &&
+                       (s.completed + s.shed_slo + s.timeouts +
+                            s.cancelled + s.rejected_infeasible ==
+                        s.requests.size());
+        std::cout << "fault accounting balanced at every point: "
+                  << (balanced ? "yes" : "NO") << "\n";
+        json.add("fault_sweep.balanced",
+                 std::uint64_t(balanced ? 1 : 0));
+
+        if (!smoke) {
+            // The zero-fault point with every resilience knob armed
+            // must replay the plain scheduler's event sequence
+            // bit-identically (deadline/SLO events are no-ops when
+            // nothing violates them).
+            core::SchedOptions plain;
+            plain.max_batch = 4;
+            plain.policy = core::SchedPolicy::ChunkedInterleave;
+            plain.prefill_chunk = 256;
+            plain.npu_contention = false;
+            const core::ServeStats base =
+                sched.serve(smoke_trace, plain);
+            const core::ServeStats &clean = fstats[0]; // ucp0_none
+            bool bit_exact =
+                base.requests.size() == clean.requests.size();
+            for (std::size_t i = 0;
+                 bit_exact && i < base.requests.size(); ++i)
+                bit_exact =
+                    base.requests[i].finish_tick ==
+                        clean.requests[i].finish_tick &&
+                    base.requests[i].total_token_time ==
+                        clean.requests[i].total_token_time &&
+                    base.requests[i].prefill_time ==
+                        clean.requests[i].prefill_time;
+            std::cout << "zero-fault point bit-exact vs plain serve: "
+                      << (bit_exact ? "yes" : "NO") << "\n";
+            json.add("fault_sweep.zero_fault_bit_exact",
+                     std::uint64_t(bit_exact ? 1 : 0));
+
+            // Goodput degrades (and p95 TTFT rises) monotonically in
+            // the fault rate within each loss scenario. Goodput gets
+            // 0.5% headroom: its denominator is the extrapolated
+            // makespan, and retry-inflated sim token times perturb the
+            // extrapolation factor at the 1e-3 level.
+            bool monotone = true;
+            for (std::size_t l = 0; l < 3; ++l)
+                for (std::size_t u = 1; u < 3; ++u) {
+                    const core::ServeStats &lo = fstats[l * 3 + u - 1];
+                    const core::ServeStats &hi = fstats[l * 3 + u];
+                    monotone = monotone &&
+                               hi.goodput_tokens_per_s <=
+                                   lo.goodput_tokens_per_s * 1.005 &&
+                               hi.ttft.p95_ms >= lo.ttft.p95_ms &&
+                               hi.read_retries >= lo.read_retries;
+                }
+            std::cout << "goodput/TTFT monotone in fault rate: "
+                      << (monotone ? "yes" : "NO") << "\n";
+            json.add("fault_sweep.monotone",
+                     std::uint64_t(monotone ? 1 : 0));
+        }
     }
 
     json.add("wall_clock_s",

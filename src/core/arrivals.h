@@ -39,6 +39,11 @@ struct ServeRequest
 
     /** Sim-clock arrival tick. */
     Tick arrival = 0;
+
+    /** User cancellation tick (0 = never): at this sim time the
+     *  client gives up and the scheduler tears the request down,
+     *  wherever it is — queued, prefilling or decoding. */
+    Tick cancel_at = 0;
 };
 
 /** A (prompt, decode_tokens) request shape for synthetic traces. */

@@ -79,8 +79,20 @@ DecodeStream::npuRows(const TilePlan &plan) const
 }
 
 void
+DecodeStream::abortUnit()
+{
+    CAMLLM_ASSERT(!aborted_, "stream aborted twice");
+    aborted_ = true;
+    env_.fs->disconnect(client_);
+    done_ = nullptr;
+    done_ops_all_ = true;
+}
+
+void
 DecodeStream::onCompletion(const flash::Completion &c)
 {
+    if (aborted_)
+        return;
     auto &s = st_[c.op_id];
     switch (c.kind) {
       case flash::Completion::Kind::RcResult:
@@ -172,6 +184,7 @@ void
 DecodeStream::beginUnit(TokenDone done)
 {
     CAMLLM_ASSERT(done_ops_all_, "token already in flight");
+    CAMLLM_ASSERT(!aborted_, "unit started on an aborted stream");
     const CamConfig &cfg = *env_.cfg;
     const llm::ModelConfig &model = *env_.model;
 
@@ -405,6 +418,8 @@ DecodeStream::issueReads(std::uint32_t id, const TilePlan &plan)
 void
 DecodeStream::maybeCompleteGemv(std::uint32_t id)
 {
+    if (aborted_)
+        return;
     auto &s = st_[id];
     if (s.completed || !s.ready || !s.rc_issued)
         return;
@@ -445,6 +460,8 @@ DecodeStream::maybeCompleteGemv(std::uint32_t id)
 void
 DecodeStream::complete(std::uint32_t id)
 {
+    if (aborted_)
+        return;
     auto &s = st_[id];
     const llm::Op &op = graph_.ops[id];
     if (op.kind != llm::OpKind::GemvWeight) {

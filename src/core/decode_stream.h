@@ -117,6 +117,22 @@ class DecodeStream
     bool busy() const { return !done_ops_all_; }
 
     /**
+     * Abandon the stream mid-unit (request cancelled or timed out).
+     * The completion port is torn down — records already queued in
+     * the CompletionRouter and everything the device still produces
+     * for this client are dropped, never delivered — and every
+     * deferred callback (DRAM joins, NPU grants, drain tails) becomes
+     * a no-op, since the EventQueue cannot cancel events. The done
+     * callback is released without firing. The stream must not be
+     * started again; device work already submitted keeps draining and
+     * charging the shared resources it occupies, like a real
+     * cancelled request's in-flight I/O.
+     */
+    void abortUnit();
+
+    bool aborted() const { return aborted_; }
+
+    /**
      * Cap on this stream's in-flight NPU read bytes (the prefetch
      * window). Defaults to the full NPU weight buffer; BatchEngine
      * divides the buffer across active streams.
@@ -216,6 +232,7 @@ class DecodeStream
     bool last_chunk_ = true;     ///< head projection present
     TokenDone done_;
     bool done_ops_all_ = true;
+    bool aborted_ = false;
 
     llm::DecodeGraph graph_;
     bool graph_is_decode_ = false; ///< decode graph cached for rebind

@@ -75,18 +75,15 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     const auto finalKvTokens = [](const ServeRequest &s) {
         return std::uint64_t(s.context) + s.prompt + s.decode_tokens;
     };
+    // A request whose final KV demand exceeds the whole pool can
+    // never run; it is rejected gracefully at its admission point
+    // (ServeStats::rejected_infeasible) instead of killing the serve.
+    std::vector<char> infeasible(requests.size(), 0);
     if (pool.bounded())
-        for (const ServeRequest &r : requests)
-            if (pool.blocksForTokens(finalKvTokens(r)) >
+        for (std::size_t i = 0; i < requests.size(); ++i)
+            if (pool.blocksForTokens(finalKvTokens(requests[i])) >
                 pool.totalBlocks())
-                fatal("request KV demand (%llu tokens = %llu blocks "
-                      "of %u) exceeds the whole KV budget (%llu "
-                      "blocks); it could never be served",
-                      (unsigned long long)finalKvTokens(r),
-                      (unsigned long long)pool.blocksForTokens(
-                          finalKvTokens(r)),
-                      opt.kv_block_tokens,
-                      (unsigned long long)pool.totalBlocks());
+                infeasible[i] = 1;
 
     // Shared device, same construction order as the single-request
     // engine (and PR 2's BatchEngine) so a decode-only FCFS run
@@ -96,6 +93,17 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     flash::FlashSystem fs(eq, config_.flash, config_.tile_window,
                           config_.slicing);
     NpuArbiter npu(eq, opt.npu_contention);
+
+    // Fault injection: arm the spec on the device before anything
+    // runs. An inactive spec arms nothing, so the fault-free event
+    // sequence is byte-identical to a run without this block.
+    flash::FaultSpec faults = opt.faults;
+    if (faults.any()) {
+        if (faults.model_weight_bytes == 0)
+            faults.model_weight_bytes =
+                quant.weightBytes(model_.totalParams());
+        fs.armFaults(faults);
+    }
 
     struct ReqRun
     {
@@ -126,13 +134,39 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     };
 
     std::vector<ReqRun> runs(requests.size());
+    // Identity fields are filled for every request up front — a
+    // request that is rejected, shed or cancelled before admission
+    // still lands in ServeStats with valid shape fields.
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        ReqRun &r = runs[i];
+        r.spec = requests[i];
+        r.cfg = config_;
+        r.stats.id = std::uint32_t(i);
+        r.stats.prompt = r.spec.prompt;
+        r.stats.context = r.spec.context;
+        r.stats.decode_tokens = r.spec.decode_tokens;
+        r.stats.arrival = r.spec.arrival;
+    }
     std::size_t next_admit = 0;
     std::uint32_t active = 0;
-    std::uint64_t finished = 0;
+    std::uint64_t completed = 0;
+    std::uint32_t n_admitted = 0;
+    std::uint32_t n_shed = 0;
+    std::uint32_t n_timeouts = 0;
+    std::uint32_t n_cancelled = 0;
+    std::uint32_t n_rejected = 0;
+    Tick horizon = 0; ///< last request-exit tick (see sim_makespan)
     bool wake_pending = false;
     SampleSet tbt_ms;
     std::uint32_t total_preemptions = 0;
     std::uint64_t total_recompute_tokens = 0;
+
+    // SLO admission control state: an EMA of depth-extrapolated
+    // milliseconds per prefill token, sampled from every finished
+    // prefill/recompute chunk. Zero until the first chunk lands, so
+    // the first admissions are never shed blind.
+    double prefill_ms_per_tok = 0.0;
+    double degrade_scale = 1.0; ///< ProportionalSlowdown chunk scale
 
     DecodeStream::Env base;
     base.model = &model_;
@@ -157,12 +191,50 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     std::function<void()> admit;
     std::function<void()> onFree;
     std::function<void(std::size_t)> evictRun;
+    std::function<void(std::size_t, RequestOutcome)> killRun;
 
     const auto accountUnblock = [&](ReqRun &r) {
         const Tick span = eq.now() - r.blocked_since;
         r.stats.kv_blocked_time += span;
         if (!r.first_emitted)
             r.blocked_pre_ft += span;
+    };
+
+    const auto countOutcome = [&](RequestOutcome why) {
+        switch (why) {
+        case RequestOutcome::TimedOut: ++n_timeouts; break;
+        case RequestOutcome::Cancelled: ++n_cancelled; break;
+        case RequestOutcome::ShedSlo: ++n_shed; break;
+        case RequestOutcome::RejectedInfeasible: ++n_rejected; break;
+        case RequestOutcome::Completed: break;
+        }
+    };
+
+    // Projected TTFT for an arriving request: every admitted run's
+    // outstanding prefill + recompute tokens are ahead of the new
+    // request's own prompt on the shared device.
+    const auto projectedTtftMs = [&](const ServeRequest &spec) {
+        if (prefill_ms_per_tok <= 0.0)
+            return 0.0;
+        std::uint64_t backlog = 0;
+        for (const ReqRun &q : runs)
+            if (q.admitted && !q.finished)
+                backlog += (q.spec.prompt - q.prefill_done) +
+                           q.recompute_left;
+        const std::uint64_t own =
+            std::max<std::uint32_t>(1, spec.prompt);
+        return double(backlog + own) * prefill_ms_per_tok;
+    };
+
+    const auto noteChunkRate = [&](const TokenStats &s,
+                                   std::uint32_t chunk) {
+        if (chunk == 0)
+            return;
+        const double ms =
+            double(s.token_time) / double(kMs) / double(chunk);
+        prefill_ms_per_tok = prefill_ms_per_tok == 0.0
+                                 ? ms
+                                 : 0.7 * prefill_ms_per_tok + 0.3 * ms;
     };
 
     // Victim policy: the lowest-priority (latest-arrived) running
@@ -239,11 +311,53 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         onFree();
     };
 
+    // Tear a request down wherever it stands — queued, prefilling,
+    // decoding, stalled or evicted. An in-flight unit is abandoned
+    // through DecodeStream::abortUnit(): its completion port drops
+    // queued and future records, and the device work it already
+    // submitted keeps draining (and charging the channels) like a
+    // real cancelled request's in-flight I/O. KV blocks are released
+    // immediately and the freed capacity wakes waiters on this tick.
+    killRun = [&](std::size_t i, RequestOutcome why) {
+        ReqRun &r = runs[i];
+        if (r.finished)
+            return; // completed (or already torn down) first
+        r.finished = true;
+        r.stats.outcome = why;
+        r.stats.finish_tick = eq.now();
+        horizon = std::max(horizon, eq.now());
+        countOutcome(why);
+        if (!r.admitted) {
+            // Still queued: holds no blocks and no stream. It may be
+            // the head of the admission queue — re-run admission so
+            // the queue can advance past it.
+            admit();
+            return;
+        }
+        const bool was_active = !r.preempted;
+        if (r.stalled) {
+            r.stalled = false;
+            accountUnblock(r);
+        }
+        r.preempted = false;
+        r.preempt_pending = false;
+        if (r.stream)
+            r.stream->abortUnit();
+        pool.release(r.kv);
+        if (was_active) {
+            CAMLLM_ASSERT(active > 0);
+            --active;
+            rebudget();
+        }
+        onFree();
+    };
+
     const auto onChunkDone = [&](std::size_t i, const TokenStats &s) {
         ReqRun &r = runs[i];
         r.sim_token_sum += eq.now() - r.token_start;
         r.stats.prefill_time += s.token_time;
         ++r.stats.prefill_chunks;
+        noteChunkRate(s, r.cur_chunk);
         r.prefill_done += r.cur_chunk;
         r.cur_chunk = 0;
         if (r.prefill_done >= r.spec.prompt) {
@@ -266,6 +380,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         r.sim_token_sum += eq.now() - r.token_start;
         r.stats.recompute_time += s.token_time;
         ++r.stats.recompute_chunks;
+        noteChunkRate(s, r.cur_chunk);
         if (!r.first_emitted)
             r.recompute_pre_ft += s.token_time;
         r.recompute_base += r.cur_chunk;
@@ -300,8 +415,10 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         }
         r.finished = true;
         r.preempt_pending = false; // retiring beats a pending evict
+        r.stats.outcome = RequestOutcome::Completed;
         r.stats.finish_tick = eq.now();
-        ++finished;
+        horizon = std::max(horizon, eq.now());
+        ++completed;
         CAMLLM_ASSERT(active > 0);
         --active;
         pool.release(r.kv);
@@ -309,8 +426,23 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         onFree();   // refill the slot / wake KV waiters, same tick
     };
 
+    // The chunked policies' prefill token budget; under
+    // ProportionalSlowdown degradation an overloaded system shrinks
+    // everyone's chunks (floor 16) instead of shedding arrivals.
+    const auto chunkBudget = [&] {
+        std::uint32_t budget = opt.prefill_chunk;
+        if (degrade_scale < 1.0)
+            budget = std::max<std::uint32_t>(
+                16, std::uint32_t(double(budget) * degrade_scale));
+        return budget;
+    };
+
     startNext = [&](std::size_t i) {
         ReqRun &r = runs[i];
+        // A killed run's deferred start event (stagger/arrival) still
+        // fires — the EventQueue cannot cancel — and must be a no-op.
+        if (r.finished)
+            return;
         // A pending eviction lands at the next unit boundary — which
         // for a victim that never issued its first unit (deferred
         // start via stagger or arrival) is right here.
@@ -326,7 +458,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         if (r.recompute_left > 0) {
             const std::uint32_t chunk =
                 opt.policy == SchedPolicy::ChunkedInterleave
-                    ? std::min(opt.prefill_chunk, r.recompute_left)
+                    ? std::min(chunkBudget(), r.recompute_left)
                     : r.recompute_left;
             if (!ensureKv(i, std::uint64_t(r.recompute_base) + chunk))
                 return;
@@ -346,7 +478,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                 r.spec.prompt - r.prefill_done;
             const std::uint32_t chunk =
                 opt.policy == SchedPolicy::ChunkedInterleave
-                    ? std::min(opt.prefill_chunk, remaining)
+                    ? std::min(chunkBudget(), remaining)
                     : remaining;
             const std::uint32_t kv_base =
                 r.spec.context + r.prefill_done;
@@ -379,6 +511,12 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     admit = [&] {
         std::vector<std::size_t> started;
         while (active < opt.max_batch && next_admit < runs.size()) {
+            // Skip over queued requests already torn down (cancelled
+            // or timed out before they ever got a slot).
+            if (runs[next_admit].finished) {
+                ++next_admit;
+                continue;
+            }
             const ServeRequest &spec = requests[next_admit];
             if (spec.arrival > eq.now()) {
                 // Head of the queue is in the future: wake when it
@@ -392,6 +530,58 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                 }
                 break;
             }
+            // Infeasible request: reject loudly at its admission
+            // point and keep serving everyone else.
+            if (infeasible[next_admit]) {
+                ReqRun &head = runs[next_admit];
+                warn("rejecting request %zu: KV demand (%llu tokens "
+                     "= %llu blocks of %u) exceeds the whole KV "
+                     "budget (%llu blocks)",
+                     next_admit,
+                     (unsigned long long)finalKvTokens(spec),
+                     (unsigned long long)pool.blocksForTokens(
+                         finalKvTokens(spec)),
+                     opt.kv_block_tokens,
+                     (unsigned long long)pool.totalBlocks());
+                head.finished = true;
+                head.stats.outcome =
+                    RequestOutcome::RejectedInfeasible;
+                head.stats.finish_tick = eq.now();
+                horizon = std::max(horizon, eq.now());
+                ++n_rejected;
+                ++next_admit;
+                continue;
+            }
+            // SLO-aware degradation at the admission point. Under
+            // ShedNewest an arrival whose projected TTFT (queue of
+            // admitted prefill work ahead of it, at the measured
+            // per-token rate) already busts the target is turned
+            // away; under ProportionalSlowdown everyone is admitted
+            // but the prefill chunk budget shrinks with the overload.
+            if (opt.slo_ttft_ms > 0.0) {
+                const double projected = projectedTtftMs(spec);
+                if (opt.degrade == DegradePolicy::ShedNewest) {
+                    if (projected > opt.slo_ttft_ms) {
+                        ReqRun &head = runs[next_admit];
+                        warn("shedding request %zu: projected TTFT "
+                             "%.0f ms exceeds SLO %.0f ms",
+                             next_admit, projected, opt.slo_ttft_ms);
+                        head.finished = true;
+                        head.stats.outcome = RequestOutcome::ShedSlo;
+                        head.stats.finish_tick = eq.now();
+                        horizon = std::max(horizon, eq.now());
+                        ++n_shed;
+                        ++next_admit;
+                        continue;
+                    }
+                } else {
+                    degrade_scale =
+                        projected > opt.slo_ttft_ms
+                            ? std::max(0.25,
+                                       opt.slo_ttft_ms / projected)
+                            : 1.0;
+                }
+            }
             // Admission requires the request's warm context KV to be
             // resident; a dry pool queues the head FCFS (admission
             // never preempts — only running requests' growth does)
@@ -401,13 +591,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                 break;
             const std::size_t i = next_admit++;
             ReqRun &r = runs[i];
-            r.spec = spec;
-            r.cfg = config_;
-            r.stats.id = std::uint32_t(i);
-            r.stats.prompt = r.spec.prompt;
-            r.stats.context = r.spec.context;
-            r.stats.decode_tokens = r.spec.decode_tokens;
-            r.stats.arrival = r.spec.arrival;
+            ++n_admitted;
             DecodeStream::Env env = base;
             env.cfg = &r.cfg;
             r.stream = std::make_unique<DecodeStream>(env);
@@ -476,12 +660,39 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         admit();
     };
 
+    // Deadlines and user cancellations are pre-scheduled (the trace
+    // is known): a fired event on a finished run is a no-op. With
+    // neither armed and no faults, nothing extra enters the queue and
+    // the event sequence is bit-identical to the pre-resilience
+    // scheduler; when extras ARE armed, trailing no-op events would
+    // inflate eq.now(), so the makespan falls back to the tracked
+    // last-request-exit horizon.
+    bool timeline_clean = !faults.any() && opt.request_deadline == 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        if (opt.request_deadline > 0)
+            eq.schedule(requests[i].arrival + opt.request_deadline,
+                        [&, i] {
+                            killRun(i, RequestOutcome::TimedOut);
+                        });
+        if (requests[i].cancel_at > 0) {
+            timeline_clean = false;
+            eq.schedule(requests[i].cancel_at, [&, i] {
+                killRun(i, RequestOutcome::Cancelled);
+            });
+        }
+    }
+
     admit();
     initial_wave = false;
     eq.run();
-    CAMLLM_ASSERT(finished == runs.size(),
-                  "only %llu of %zu requests completed",
-                  (unsigned long long)finished, runs.size());
+    CAMLLM_ASSERT(completed + n_shed + n_timeouts + n_cancelled +
+                          n_rejected ==
+                      runs.size(),
+                  "request accounting out of balance: %llu completed "
+                  "+ %u shed + %u timed out + %u cancelled + %u "
+                  "rejected != %zu requests",
+                  (unsigned long long)completed, n_shed, n_timeouts,
+                  n_cancelled, n_rejected, runs.size());
     // Drain audit: every retire released its whole block table.
     CAMLLM_ASSERT(pool.leakedBlocks() == 0,
                   "%llu KV blocks leaked at drain",
@@ -490,22 +701,30 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
 
     ServeStats out;
     out.max_batch = opt.max_batch;
-    out.sim_makespan = eq.now();
+    out.sim_makespan = timeline_clean ? eq.now() : horizon;
     out.requests.reserve(runs.size());
 
     Tick sim_sum = 0, ext_sum = 0;
     double rate_sum = 0.0, rate_sq_sum = 0.0;
+    std::uint64_t goodput_tokens = 0;
     for (ReqRun &r : runs) {
         ServeRequestStats &st = r.stats;
-        st.mean_token_time = st.total_token_time / st.decode_tokens;
+        // A killed run completed only tokens_done of its decode
+        // budget (a completed run's tokens_done equals decode_tokens,
+        // so these expressions reduce to the historical ones).
+        const std::uint32_t steps = r.tokens_done;
+        st.tokens_emitted =
+            steps + ((st.prompt > 0 && r.first_emitted) ? 1u : 0u);
+        st.mean_token_time =
+            steps > 0 ? st.total_token_time / steps : 0;
         st.tokens_per_s =
             st.total_token_time > 0
-                ? double(st.decode_tokens) * double(kSec) /
+                ? double(steps) * double(kSec) /
                       double(st.total_token_time)
                 : 0.0;
-        out.total_tokens += st.decode_tokens;
-        if (st.prompt > 0)
-            ++out.total_tokens; // the prefill-emitted first token
+        out.total_tokens += st.tokens_emitted;
+        if (st.outcome == RequestOutcome::Completed)
+            goodput_tokens += st.tokens_emitted;
         sim_sum += r.sim_token_sum;
         ext_sum += st.total_token_time + st.prefill_time +
                    st.recompute_time;
@@ -543,6 +762,13 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     SampleSet ttft_ms;
     for (std::size_t i = 0; i < out.requests.size(); ++i) {
         ServeRequestStats &st = out.requests[i];
+        // A request torn down before its first token has no TTFT
+        // sample (and admit_tick may never have been set).
+        if (!runs[i].first_emitted) {
+            st.ttft_ms = 0.0;
+            st.mean_tbt_ms = 0.0;
+            continue;
+        }
         const double wait =
             (double(st.admit_tick - st.arrival) +
              double(runs[i].blocked_pre_ft)) *
@@ -555,7 +781,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         ttft_ms.add(st.ttft_ms);
 
         Tick tbt_total = st.total_token_time;
-        std::uint32_t tbt_n = st.decode_tokens;
+        std::uint32_t tbt_n = runs[i].tokens_done;
         if (st.prompt == 0) {
             tbt_total -= st.first_token.token_time;
             tbt_n -= 1;
@@ -584,6 +810,22 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     out.kv_blocks_high_water = pool.highWaterBlocks();
     out.kv_block_allocs = pool.allocCount();
     out.kv_block_frees = pool.freeCount();
+
+    out.admitted = n_admitted;
+    out.completed = std::uint32_t(completed);
+    out.shed_slo = n_shed;
+    out.timeouts = n_timeouts;
+    out.cancelled = n_cancelled;
+    out.rejected_infeasible = n_rejected;
+    out.goodput_tokens_per_s =
+        real_makespan > 0.0
+            ? double(goodput_tokens) * double(kSec) / real_makespan
+            : 0.0;
+    out.read_retries = fs.retryReads();
+    out.retry_channel_bytes = fs.retryBytes();
+    out.remap_bytes = fs.remapBytes();
+    out.channels_lost = fs.channelsLost();
+    out.reissued_jobs = fs.reissuedJobs();
     return out;
 }
 

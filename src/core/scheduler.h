@@ -56,6 +56,7 @@
 #include "core/engine.h"
 #include "core/presets.h"
 #include "core/tiling.h"
+#include "flash/fault.h"
 #include "llm/model_config.h"
 
 namespace camllm::core {
@@ -65,6 +66,29 @@ enum class SchedPolicy
 {
     DecodeFirstFcfs,  ///< whole-prompt prefill, FCFS slots (PR 2-like)
     ChunkedInterleave ///< chunked prefill under a token budget
+};
+
+/** What to do when the projected TTFT blows the SLO target. */
+enum class DegradePolicy
+{
+    /** Reject the arriving request outright (it is the newest work in
+     *  the system); everyone already admitted keeps full service. */
+    ShedNewest,
+
+    /** Admit everyone but shrink the effective prefill chunk in
+     *  proportion to the overload, trading everyone's TTFT a little
+     *  instead of rejecting anyone (ChunkedInterleave only). */
+    ProportionalSlowdown
+};
+
+/** How one request left the system. */
+enum class RequestOutcome : std::uint8_t
+{
+    Completed = 0,
+    TimedOut,           ///< blew its deadline (queued or running)
+    Cancelled,          ///< client gave up (ServeRequest::cancel_at)
+    ShedSlo,            ///< rejected at admission by the SLO guard
+    RejectedInfeasible  ///< KV demand exceeds the whole pool
 };
 
 /** One serve() run's knobs. */
@@ -104,6 +128,40 @@ struct SchedOptions
      * capacity is allocated block-wise from the pool.
      */
     std::uint32_t kv_block_tokens = 0;
+
+    // --- resilience ----------------------------------------------------
+    /**
+     * Per-request completion deadline measured from arrival, in sim
+     * ticks (0 = none). A request that has not finished by
+     * arrival + deadline is torn down wherever it is: a queued
+     * request times out without ever running; a running one aborts
+     * its in-flight unit (completions drain through the router and
+     * are dropped), releases its KV blocks and frees its slot. Either
+     * way it lands in ServeStats::timeouts.
+     */
+    Tick request_deadline = 0;
+
+    /**
+     * Target p95 TTFT for SLO-aware admission, in extrapolated
+     * milliseconds (0 = off). At each admission the scheduler
+     * projects the arrival's TTFT from the measured per-token prefill
+     * service rate (an EMA that inflates under retry/degradation
+     * load) and the prefill backlog ahead of it; a projection past
+     * the target triggers the degrade policy below.
+     */
+    double slo_ttft_ms = 0.0;
+
+    /** Reaction to a projected SLO violation. */
+    DegradePolicy degrade = DegradePolicy::ShedNewest;
+
+    /**
+     * Fault-injection spec forwarded to the flash device (seeded soft
+     * read failures plus the channel slowdown/offline schedule). The
+     * default spec injects nothing and leaves the event sequence
+     * byte-identical to a fault-free run; model_weight_bytes is
+     * filled from the model config if left 0.
+     */
+    flash::FaultSpec faults;
 };
 
 /** Measured results of one served request. */
@@ -136,6 +194,14 @@ struct ServeRequestStats
 
     double ttft_ms = 0.0;     ///< queue wait + service to first token
     double mean_tbt_ms = 0.0; ///< mean time between subsequent tokens
+
+    /** How the request left the system. Non-Completed requests keep
+     *  whatever partial measurements they accumulated. */
+    RequestOutcome outcome = RequestOutcome::Completed;
+
+    /** Tokens actually emitted (first token + decode steps); equals
+     *  decode_tokens (+1 when prompt > 0) for completed requests. */
+    std::uint32_t tokens_emitted = 0;
 
     /** Times this request was evicted under KV pressure. */
     std::uint32_t preemptions = 0;
@@ -202,6 +268,31 @@ struct ServeStats
     std::uint64_t kv_blocks_high_water = 0;
     std::uint64_t kv_block_allocs = 0;
     std::uint64_t kv_block_frees = 0;    ///< == allocs after drain audit
+
+    // --- resilience (all zero on a fault-free, deadline-free run) ------
+    /** Requests that entered a serving slot. */
+    std::uint32_t admitted = 0;
+
+    /** Requests that ran to completion. completed + shed_slo +
+     *  timeouts + cancelled + rejected_infeasible == requests.size()
+     *  (asserted after the drain audit). */
+    std::uint32_t completed = 0;
+    std::uint32_t shed_slo = 0;
+    std::uint32_t timeouts = 0;
+    std::uint32_t cancelled = 0;
+    std::uint32_t rejected_infeasible = 0;
+
+    /** Tokens emitted by *completed* requests per extrapolated
+     *  second — throughput that honored the contract, the metric
+     *  faults degrade. */
+    double goodput_tokens_per_s = 0.0;
+
+    // --- flash fault layer ---------------------------------------------
+    std::uint64_t read_retries = 0;      ///< escalated re-senses
+    std::uint64_t retry_channel_bytes = 0; ///< failed-page bus traffic
+    std::uint64_t remap_bytes = 0;       ///< dead-channel rebuild I/O
+    std::uint32_t channels_lost = 0;
+    std::uint64_t reissued_jobs = 0;     ///< stranded jobs re-run
 };
 
 /** Multi-request prefill + decode co-scheduling simulation. */

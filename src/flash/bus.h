@@ -18,6 +18,7 @@
 #include <deque>
 #include <functional>
 
+#include "common/logging.h"
 #include "common/stats.h"
 #include "common/units.h"
 #include "sim/event_queue.h"
@@ -70,6 +71,22 @@ class ChannelBus
     /** Install a per-grant trace hook (nullptr to disable). */
     void setTraceHook(TraceHook hook) { trace_ = std::move(hook); }
 
+    /**
+     * Degrade (or restore) the channel's transfer rate: effective
+     * bandwidth becomes bytes_per_ns * @p scale. Used by the fault
+     * layer's slowdown windows; the grant in flight keeps the rate it
+     * started with, only future grants see the new scale.
+     */
+    void
+    setRateScale(double scale)
+    {
+        CAMLLM_ASSERT(scale > 0.0 && scale <= 1.0,
+                      "bus rate scale %.3f out of (0, 1]", scale);
+        rate_scale_ = scale;
+    }
+
+    double rateScale() const { return rate_scale_; }
+
     const BusyTracker &busy() const { return busy_; }
     std::uint64_t bytesHigh() const { return bytes_high_; }
     std::uint64_t bytesLow() const { return bytes_low_; }
@@ -80,7 +97,8 @@ class ChannelBus
     Tick
     grantTime(std::uint64_t bytes) const
     {
-        return grant_overhead_ + transferTime(bytes, bytes_per_ns_);
+        return grant_overhead_ +
+               transferTime(bytes, bytes_per_ns_ * rate_scale_);
     }
 
   private:
@@ -98,6 +116,7 @@ class ChannelBus
     double bytes_per_ns_;
     Tick grant_overhead_;
     bool priority_;
+    double rate_scale_ = 1.0;
     std::uint64_t next_seq_ = 0;
     std::deque<Txn> high_;
     std::deque<Txn> low_;

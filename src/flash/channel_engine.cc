@@ -22,6 +22,7 @@ ChannelEngine::ChannelEngine(EventQueue &eq, const FlashParams &params,
     };
     cbs.read_delivered = [this](const ReadPageJob &j) { onReadDelivered(j); };
     cbs.read_slot_free = [this] { dispatchReads(); };
+    cbs.retry_drained = [this](const ReadPageJob &j) { onRetryDrained(j); };
     dies_.reserve(n_dies);
     for (std::uint32_t i = 0; i < n_dies; ++i)
         dies_.push_back(std::make_unique<DieModel>(eq_, bus_, params_, cbs));
@@ -30,6 +31,7 @@ ChannelEngine::ChannelEngine(EventQueue &eq, const FlashParams &params,
 void
 ChannelEngine::submitTile(const RcTileWork &tile)
 {
+    CAMLLM_ASSERT(!offline_, "tile submitted to an offline channel");
     CAMLLM_ASSERT(tile.cores_used > 0 && tile.cores_used <= dies_.size(),
                   "tile uses %u cores, channel has %zu dies",
                   tile.cores_used, dies_.size());
@@ -41,8 +43,52 @@ ChannelEngine::submitTile(const RcTileWork &tile)
 void
 ChannelEngine::submitRead(const ReadPageJob &job)
 {
+    CAMLLM_ASSERT(!offline_, "read submitted to an offline channel");
     read_queue_.push_back(job);
     dispatchReads();
+}
+
+void
+ChannelEngine::setFaultModel(FaultModel *fault)
+{
+    for (auto &die : dies_)
+        die->setFaultModel(fault);
+}
+
+ChannelEngine::OfflineWork
+ChannelEngine::failOffline()
+{
+    CAMLLM_ASSERT(!offline_, "channel failed twice");
+    offline_ = true;
+    for (auto &die : dies_)
+        die->setOffline();
+
+    OfflineWork w;
+    // Queued tiles re-issue verbatim; an active tile re-issues only
+    // its unfinished cores (delivered results already reached their
+    // client and must not be produced twice). The input broadcast is
+    // repeated on the new channel either way — its cores have empty
+    // input buffers.
+    for (const RcTileWork &t : tile_queue_)
+        w.tiles.push_back(t);
+    tile_queue_.clear();
+    for (const auto &[seq, tile] : active_) {
+        if (tile.results_remaining == 0)
+            continue;
+        RcTileWork t = tile.work;
+        t.cores_used = tile.results_remaining;
+        w.tiles.push_back(t);
+    }
+    // active_ stays populated: late die events still consult
+    // inputReady() through cbs_, and the entries are dead weight, not
+    // dangling state.
+
+    for (const ReadPageJob &j : read_queue_)
+        w.reads.push_back(j);
+    read_queue_.clear();
+    for (const auto &die : dies_)
+        die->collectReads(w.reads);
+    return w;
 }
 
 void
@@ -52,13 +98,14 @@ ChannelEngine::tryActivate()
         RcTileWork tile = tile_queue_.front();
         tile_queue_.pop_front();
         const std::uint32_t seq = next_tile_seq_++;
-        active_.emplace(seq, ActiveTile{tile.client, tile.op_id,
-                                        tile.cores_used, false});
+        active_.emplace(seq, ActiveTile{tile, tile.cores_used, false});
 
         // Broadcast the input slice to every engaged core's input
         // buffer; a single grant serves all chips on the bus.
         bus_.request(BusPriority::High, tile.input_bytes,
                      [this, seq] {
+                         if (offline_)
+                             return;
                          auto it = active_.find(seq);
                          CAMLLM_ASSERT(it != active_.end());
                          it->second.input_ready = true;
@@ -108,6 +155,8 @@ ChannelEngine::inputReady(std::uint32_t tile_seq) const
 void
 ChannelEngine::onRcResultDelivered(const RcPageJob &job)
 {
+    if (offline_)
+        return;
     auto it = active_.find(job.tile_seq);
     CAMLLM_ASSERT(it != active_.end());
     CAMLLM_ASSERT(it->second.results_remaining > 0);
@@ -127,6 +176,8 @@ ChannelEngine::onRcResultDelivered(const RcPageJob &job)
 void
 ChannelEngine::onReadDelivered(const ReadPageJob &job)
 {
+    if (offline_)
+        return;
     Completion c;
     c.kind = Completion::Kind::ReadData;
     c.client = job.client;
@@ -163,6 +214,23 @@ ChannelEngine::arrayReads() const
     for (const auto &d : dies_)
         n += d->arrayReads();
     return n;
+}
+
+std::uint64_t
+ChannelEngine::retryReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &d : dies_)
+        n += d->retryReads();
+    return n;
+}
+
+void
+ChannelEngine::onRetryDrained(const ReadPageJob &job)
+{
+    if (offline_)
+        return;
+    delivered_bytes_[std::size_t(WorkClass::Retry)] += job.bytes;
 }
 
 } // namespace camllm::flash

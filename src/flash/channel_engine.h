@@ -24,6 +24,7 @@
 #include "flash/bus.h"
 #include "flash/completion.h"
 #include "flash/die.h"
+#include "flash/fault.h"
 #include "flash/params.h"
 #include "flash/work.h"
 #include "sim/event_queue.h"
@@ -64,9 +65,32 @@ class ChannelEngine
 
     std::size_t readBacklog() const { return read_queue_.size(); }
 
+    // --- fault injection ---------------------------------------------
+    /** Arm soft read failures on every die of this channel. */
+    void setFaultModel(FaultModel *fault);
+
+    /** Work stranded on a channel when it dies. */
+    struct OfflineWork
+    {
+        std::vector<RcTileWork> tiles; ///< queued + unfinished actives
+        std::vector<ReadPageJob> reads;///< queued + die-resident
+    };
+
+    /**
+     * Kill the channel: mark it (and its dies) offline so every event
+     * still in flight fires as a no-op, and hand back the work that
+     * was queued or resident so the facade can re-issue it on the
+     * survivors. Completion records for the stranded work are never
+     * delivered from here — the re-issued copies produce them.
+     */
+    OfflineWork failOffline();
+
+    bool offline() const { return offline_; }
+
     std::uint64_t pagesComputed() const;
     std::uint64_t pagesRead() const;
     std::uint64_t arrayReads() const;
+    std::uint64_t retryReads() const;
 
     /** Payload bytes delivered to clients for @p cls work (read-page
      *  data plus read-compute result vectors). */
@@ -82,11 +106,11 @@ class ChannelEngine
     bool inputReady(std::uint32_t tile_seq) const;
     void onRcResultDelivered(const RcPageJob &job);
     void onReadDelivered(const ReadPageJob &job);
+    void onRetryDrained(const ReadPageJob &job);
 
     struct ActiveTile
     {
-        ClientId client;
-        std::uint64_t op_id;
+        RcTileWork work; ///< as submitted, for re-issue on failure
         std::uint32_t results_remaining;
         bool input_ready = false;
     };
@@ -105,6 +129,8 @@ class ChannelEngine
 
     std::deque<ReadPageJob> read_queue_;
     std::size_t rr_die_ = 0; ///< round-robin cursor for read dispatch
+
+    bool offline_ = false;
 
     std::uint64_t delivered_bytes_[kWorkClasses] = {};
 };

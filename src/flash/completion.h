@@ -42,8 +42,29 @@ class CompletionRouter
     ClientId
     connect(Handler handler)
     {
-        ports_.push_back(Port{std::move(handler), {}, false});
+        ports_.push_back(Port{std::move(handler), {}, false, false});
         return ClientId(ports_.size() - 1);
+    }
+
+    /**
+     * Tear a port down early (request cancelled or timed out while
+     * its flash work is still in flight). Records already queued are
+     * dropped on the spot and future deliveries for this client are
+     * swallowed, so the dead port's handler is never invoked again. A
+     * drain event already scheduled finds the port dead and returns
+     * without touching the handler. The id is never reused.
+     */
+    void
+    disconnect(ClientId id)
+    {
+        CAMLLM_ASSERT(id < ports_.size(),
+                      "disconnect of unconnected client %u", id);
+        Port &port = ports_[id];
+        CAMLLM_ASSERT(!port.disconnected, "client %u torn down twice", id);
+        dropped_ += port.pending.size();
+        port.pending.clear();
+        port.handler = nullptr;
+        port.disconnected = true;
     }
 
     std::size_t clientCount() const { return ports_.size(); }
@@ -55,6 +76,10 @@ class CompletionRouter
         CAMLLM_ASSERT(c.client < ports_.size(),
                       "completion for unconnected client %u", c.client);
         Port &port = ports_[c.client];
+        if (port.disconnected) {
+            ++dropped_;
+            return;
+        }
         port.pending.push_back(c);
         if (port.drain_scheduled)
             return;
@@ -66,26 +91,36 @@ class CompletionRouter
     /** Completion records delivered so far (all clients). */
     std::uint64_t delivered() const { return delivered_; }
 
+    /** Records swallowed on behalf of disconnected clients. */
+    std::uint64_t dropped() const { return dropped_; }
+
   private:
     struct Port
     {
         Handler handler;
         std::deque<Completion> pending;
         bool drain_scheduled = false;
+        bool disconnected = false;
     };
 
     void
     drain(ClientId id)
     {
         ports_[id].drain_scheduled = false;
+        if (ports_[id].disconnected)
+            return;
         // The handler may submit new work whose completions re-enter
         // deliver(); those schedule a fresh drain, so only hand over
         // the records that were pending when this event fired. The
         // handler may also connect() a new client (admitting another
         // decode stream), so re-index ports_ every iteration instead
         // of holding a reference across the possible reallocation.
+        // The handler may even disconnect() this very port mid-batch,
+        // which clears pending — the loop then finds nothing left.
         std::size_t n = ports_[id].pending.size();
         while (n-- > 0) {
+            if (ports_[id].disconnected || ports_[id].pending.empty())
+                break;
             const Completion c = ports_[id].pending.front();
             ports_[id].pending.pop_front();
             ++delivered_;
@@ -96,6 +131,7 @@ class CompletionRouter
     EventQueue &eq_;
     std::vector<Port> ports_;
     std::uint64_t delivered_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace camllm::flash

@@ -26,6 +26,9 @@ DieModel::rcBacklog() const
 void
 DieModel::advanceRc()
 {
+    if (offline_)
+        return;
+
     // Stage 1: array read into the data register. Per the paper's
     // read-compute flow the input vector is delivered first (step 1)
     // and only then is the weight page fetched (step 2); the plane
@@ -34,18 +37,15 @@ DieModel::advanceRc()
         cbs_.input_ready(rc_queue_.front().tile_seq)) {
         rc_reading_ = rc_queue_.front();
         rc_queue_.pop_front();
-        ++array_reads_;
-        eq_.scheduleIn(params_.timing.t_read, [this] {
-            rc_data_reg_ = rc_reading_;
-            rc_reading_.reset();
-            advanceRc();
-        });
+        startRcSense(0, fault_ ? fault_->drawRetries() : 0);
     }
 
     // Stage 2: data register -> cache register move.
     if (rc_data_reg_ && !rc_cache_reg_ && !rc_moving_) {
         rc_moving_ = true;
         eq_.scheduleIn(params_.timing.t_reg_move, [this] {
+            if (offline_)
+                return;
             rc_cache_reg_ = rc_data_reg_;
             rc_data_reg_.reset();
             rc_moving_ = false;
@@ -60,17 +60,49 @@ DieModel::advanceRc()
         const Tick dur = rc_cache_reg_->compute_time;
         core_busy_stat_.addBusy(eq_.now(), eq_.now() + dur);
         eq_.scheduleIn(dur, [this] {
+            if (offline_)
+                return;
             RcPageJob job = *rc_cache_reg_;
             rc_cache_reg_.reset();
             core_busy_ = false;
             ++pages_computed_;
             // The result waits in the output buffer for a bus grant.
             bus_.request(BusPriority::High, job.out_bytes,
-                         [this, job] { cbs_.rc_result_delivered(job); },
+                         [this, job] {
+                             if (!offline_)
+                                 cbs_.rc_result_delivered(job);
+                         },
                          "rc-result");
             advanceRc();
         });
     }
+}
+
+/**
+ * One sense of the compute-plane page. The rc stream is decoded by
+ * the on-die ECC engine, so a failed sense costs only the escalated
+ * re-read — nothing crosses the bus until a rung decodes.
+ */
+void
+DieModel::startRcSense(std::uint32_t attempt, std::uint32_t retries)
+{
+    ++array_reads_;
+    if (attempt > 0)
+        ++retry_reads_;
+    const Tick tr = attempt == 0
+                        ? params_.timing.t_read
+                        : fault_->senseTime(params_.timing.t_read, attempt);
+    eq_.scheduleIn(tr, [this, attempt, retries] {
+        if (offline_)
+            return;
+        if (attempt < retries) {
+            startRcSense(attempt + 1, retries);
+            return;
+        }
+        rc_data_reg_ = rc_reading_;
+        rc_reading_.reset();
+        advanceRc();
+    });
 }
 
 bool
@@ -87,22 +119,83 @@ DieModel::pushReadJob(const ReadPageJob &job)
                   job.bytes <= params_.geometry.page_bytes,
                   "read job of %u bytes", job.bytes);
     rd_reading_ = job;
+    startReadSense(0, fault_ ? fault_->drawRetries() : 0);
+}
+
+/**
+ * One sense of an ordinary read page. Unlike the rc stream, read
+ * pages are decoded by the controller, so a failed attempt still pays
+ * the register move and the full page transfer over the channel
+ * before the ECC verdict comes back; those bytes are billed to
+ * WorkClass::Retry via the retry_drained upcall. The plane stays
+ * occupied for the whole ladder (rd_reading_ keeps its job), so
+ * canAcceptRead() correctly reports busy until a rung decodes.
+ */
+void
+DieModel::startReadSense(std::uint32_t attempt, std::uint32_t retries)
+{
     ++array_reads_;
-    eq_.scheduleIn(params_.timing.t_read, [this] {
+    if (attempt > 0)
+        ++retry_reads_;
+    const Tick tr = attempt == 0
+                        ? params_.timing.t_read
+                        : fault_->senseTime(params_.timing.t_read, attempt);
+    eq_.scheduleIn(tr, [this, attempt, retries] {
+        if (offline_)
+            return;
+        if (attempt < retries) {
+            drainFailedRead(attempt, retries);
+            return;
+        }
         rd_data_reg_ = rd_reading_;
         rd_reading_.reset();
         advanceRead();
     });
 }
 
+/** Ship a failed sense to the controller, then climb the ladder. */
+void
+DieModel::drainFailedRead(std::uint32_t attempt, std::uint32_t retries)
+{
+    eq_.scheduleIn(params_.timing.t_reg_move, [this, attempt, retries] {
+        if (offline_)
+            return;
+        const ReadPageJob job = *rd_reading_;
+        const std::uint32_t slice = params_.timing.slice_bytes;
+        const std::uint32_t n_slices =
+            job.sliced ? (job.bytes + slice - 1) / slice : 1;
+        auto remaining = std::make_shared<std::uint32_t>(n_slices);
+        std::uint32_t left = job.bytes;
+        for (std::uint32_t i = 0; i < n_slices; ++i) {
+            const std::uint32_t chunk =
+                job.sliced ? std::min(slice, left) : job.bytes;
+            left -= chunk;
+            bus_.request(BusPriority::Low, chunk,
+                         [this, remaining, attempt, retries] {
+                             if (--*remaining != 0 || offline_)
+                                 return;
+                             if (cbs_.retry_drained)
+                                 cbs_.retry_drained(*rd_reading_);
+                             startReadSense(attempt + 1, retries);
+                         },
+                         "retry-slice");
+        }
+    });
+}
+
 void
 DieModel::advanceRead()
 {
+    if (offline_)
+        return;
+
     // Data register -> cache register; frees the plane for the next
     // array read.
     if (rd_data_reg_ && !rd_cache_reg_ && !rd_moving_) {
         rd_moving_ = true;
         eq_.scheduleIn(params_.timing.t_reg_move, [this] {
+            if (offline_)
+                return;
             rd_cache_reg_ = rd_data_reg_;
             rd_data_reg_.reset();
             rd_moving_ = false;
@@ -127,7 +220,7 @@ DieModel::advanceRead()
             left -= chunk;
             bus_.request(BusPriority::Low, chunk,
                          [this, remaining] {
-                             if (--*remaining == 0) {
+                             if (--*remaining == 0 && !offline_) {
                                  ReadPageJob done = *rd_cache_reg_;
                                  rd_cache_reg_.reset();
                                  rd_draining_ = false;
@@ -139,6 +232,17 @@ DieModel::advanceRead()
                          "read-slice");
         }
     }
+}
+
+void
+DieModel::collectReads(std::vector<ReadPageJob> &out) const
+{
+    if (rd_reading_)
+        out.push_back(*rd_reading_);
+    if (rd_data_reg_)
+        out.push_back(*rd_data_reg_);
+    if (rd_cache_reg_)
+        out.push_back(*rd_cache_reg_);
 }
 
 } // namespace camllm::flash

@@ -18,8 +18,10 @@
 #include <deque>
 #include <functional>
 #include <optional>
+#include <vector>
 
 #include "flash/bus.h"
+#include "flash/fault.h"
 #include "flash/params.h"
 #include "flash/work.h"
 #include "sim/event_queue.h"
@@ -41,6 +43,10 @@ class DieModel
         std::function<void(const ReadPageJob &)> read_delivered;
         /** The read plane can accept another job. */
         std::function<void()> read_slot_free;
+        /** A failed sense's page crossed the bus before the
+         *  controller's ECC rejected it (retry-traffic accounting).
+         *  Null when no fault model is armed. */
+        std::function<void(const ReadPageJob &)> retry_drained;
     };
 
     DieModel(EventQueue &eq, ChannelBus &bus, const FlashParams &params,
@@ -66,15 +72,36 @@ class DieModel
     /** Start a page read for the NPU. @pre canAcceptRead(). */
     void pushReadJob(const ReadPageJob &job);
 
+    // --- fault injection ---------------------------------------------
+    /** Arm soft read failures; @p fault must outlive the die. */
+    void setFaultModel(FaultModel *fault) { fault_ = fault; }
+
+    /**
+     * The channel died: stop reacting to anything still scheduled.
+     * Events already in the queue fire as no-ops (the EventQueue has
+     * no cancellation); pipeline registers are deliberately left
+     * populated because pending bus-drain lambdas still dereference
+     * them.
+     */
+    void setOffline() { offline_ = true; }
+
+    /** Collect the read jobs resident in this die's pipeline slots so
+     *  the facade can re-issue them on a surviving channel. */
+    void collectReads(std::vector<ReadPageJob> &out) const;
+
     // --- statistics ---------------------------------------------------
     std::uint64_t pagesComputed() const { return pages_computed_; }
     std::uint64_t pagesRead() const { return pages_read_; }
     std::uint64_t arrayReads() const { return array_reads_; }
+    std::uint64_t retryReads() const { return retry_reads_; }
     const BusyTracker &coreBusy() const { return core_busy_stat_; }
 
   private:
     void advanceRc();
     void advanceRead();
+    void startRcSense(std::uint32_t attempt, std::uint32_t retries);
+    void startReadSense(std::uint32_t attempt, std::uint32_t retries);
+    void drainFailedRead(std::uint32_t attempt, std::uint32_t retries);
 
     EventQueue &eq_;
     ChannelBus &bus_;
@@ -96,9 +123,13 @@ class DieModel
     bool rd_moving_ = false;
     bool rd_draining_ = false; ///< slices of cache page on the bus
 
+    FaultModel *fault_ = nullptr;
+    bool offline_ = false;
+
     std::uint64_t pages_computed_ = 0;
     std::uint64_t pages_read_ = 0;
     std::uint64_t array_reads_ = 0;
+    std::uint64_t retry_reads_ = 0;
     BusyTracker core_busy_stat_;
 };
 

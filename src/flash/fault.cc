@@ -1,0 +1,76 @@
+#include "fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "ecc/retention.h"
+
+namespace camllm::flash {
+
+void
+FaultSpec::addSlowdown(std::uint32_t channel, double factor, Tick t0,
+                       Tick t1)
+{
+    CAMLLM_ASSERT(factor >= 1.0, "slowdown factor %.2f < 1", factor);
+    CAMLLM_ASSERT(t1 > t0, "empty slowdown window");
+    ChannelFault f;
+    f.channel = channel;
+    f.slowdown = factor;
+    f.t0 = t0;
+    f.t1 = t1;
+    channel_faults.push_back(f);
+}
+
+void
+FaultSpec::addOffline(std::uint32_t channel, Tick t0)
+{
+    ChannelFault f;
+    f.channel = channel;
+    f.t0 = t0;
+    f.offline = true;
+    channel_faults.push_back(f);
+}
+
+double
+FaultSpec::effectiveUcpRate() const
+{
+    if (ucp_rate <= 0.0)
+        return 0.0;
+    double scale = 1.0;
+    if (retention_hours > 0.0 || pe_cycles > 0.0) {
+        const ecc::RetentionParams p;
+        scale = ecc::retentionBer(retention_hours, pe_cycles, p) /
+                p.base_ber;
+    }
+    return std::min(ucp_rate * scale, 0.9);
+}
+
+std::uint32_t
+FaultModel::drawRetries()
+{
+    if (ucp_ <= 0.0)
+        return 0;
+    std::uint32_t r = 0;
+    double p = ucp_;
+    while (r < spec_.ladder.max_retries) {
+        ++draws_;
+        if (!rng_.chance(p))
+            break;
+        ++r;
+        p *= spec_.ladder.retry_fail_decay;
+    }
+    return r;
+}
+
+Tick
+FaultModel::senseTime(Tick t_read, std::uint32_t attempt) const
+{
+    if (attempt == 0)
+        return t_read;
+    const double esc =
+        std::pow(spec_.ladder.sense_escalation, double(attempt));
+    return Tick(double(t_read) * esc);
+}
+
+} // namespace camllm::flash

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Deterministic fault injection for the flash device.
+ *
+ * Two fault families, both driven from one seeded spec so a run's
+ * fault timeline is a pure function of (spec, event order):
+ *
+ *  - Soft read failures: every array read draws against an
+ *    uncorrectable-page probability derived from the RBER/retention
+ *    model in src/ecc/retention.h (older, more worn data fails more
+ *    often). A failed sense climbs a NAND-style read-retry ladder —
+ *    re-reads at escalating sense latencies — until a rung sticks;
+ *    the ladder's last rung always decodes (it stands in for the
+ *    strongest sense level plus soft-decision decode).
+ *
+ *  - Channel degradation: a fault schedule of slowdown(factor, t0,
+ *    t1) windows and permanent offline(t0) events. An offline channel
+ *    strands its resident weight pages; WeightPlacement remaps them
+ *    across the survivors and the rebuild traffic is charged over the
+ *    surviving buses.
+ *
+ * The model owns a single Rng consumed in event order. Each serve()
+ * run is single threaded, so identical specs give identical fault
+ * timelines regardless of how many sweep runs execute in parallel.
+ */
+
+#ifndef CAMLLM_FLASH_FAULT_H
+#define CAMLLM_FLASH_FAULT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+
+namespace camllm::flash {
+
+/** Read-retry ladder shape (applied per failed array read). */
+struct RetryLadder
+{
+    /** Re-reads allowed after the initial failed sense; the last rung
+     *  always succeeds. */
+    std::uint32_t max_retries = 4;
+
+    /** tR multiplier per rung: attempt k senses for t_read * esc^k. */
+    double sense_escalation = 1.5;
+
+    /** Each rung's shifted read level is likelier to decode: rung k
+     *  fails with ucp * decay^k. */
+    double retry_fail_decay = 0.25;
+};
+
+/** One scheduled channel-degradation event. */
+struct ChannelFault
+{
+    std::uint32_t channel = 0;
+    double slowdown = 1.0; ///< bus-rate divisor during [t0, t1)
+    Tick t0 = 0;
+    Tick t1 = 0;           ///< slowdown end (ignored when offline)
+    bool offline = false;  ///< channel dies permanently at t0
+};
+
+/** Everything needed to reproduce a fault timeline. */
+struct FaultSpec
+{
+    /** Uncorrectable-page probability per fresh array read, before
+     *  retention/wear scaling. 0 disables soft read failures. */
+    double ucp_rate = 0.0;
+
+    /** Modeled data age / wear: scales ucp_rate by
+     *  retentionBer(hours, pe) / base_ber, so the same knob that
+     *  drives bench_fig03b drives runtime failures. 0/0 = fresh. */
+    double retention_hours = 0.0;
+    double pe_cycles = 0.0;
+
+    std::uint64_t seed = 1;
+    RetryLadder ladder;
+    std::vector<ChannelFault> channel_faults;
+
+    /** Resident weight bytes, used to size the remap performed when a
+     *  channel goes offline. The scheduler fills this from the model
+     *  config when it arms faults; standalone users set it directly. */
+    std::uint64_t model_weight_bytes = 0;
+
+    /** Bus-grant granularity of remap rebuild traffic. */
+    std::uint32_t remap_chunk_bytes = 1u << 20;
+
+    /** Convenience builders for the fault schedule. */
+    void addSlowdown(std::uint32_t channel, double factor, Tick t0, Tick t1);
+    void addOffline(std::uint32_t channel, Tick t0);
+
+    /** ucp_rate after retention/wear scaling, clamped to [0, 0.9]. */
+    double effectiveUcpRate() const;
+
+    /** Does this spec inject anything at all? */
+    bool
+    any() const
+    {
+        return effectiveUcpRate() > 0.0 || !channel_faults.empty();
+    }
+};
+
+/** Seeded runtime state shared by every die of one FlashSystem. */
+class FaultModel
+{
+  public:
+    explicit FaultModel(const FaultSpec &spec)
+        : spec_(spec), ucp_(spec.effectiveUcpRate()), rng_(spec.seed)
+    {
+    }
+
+    const FaultSpec &spec() const { return spec_; }
+
+    /**
+     * Retry rungs a fresh array read will climb before it decodes
+     * (0 = clean first sense). Consumes the shared random stream in
+     * event order, which is what makes the timeline deterministic.
+     */
+    std::uint32_t drawRetries();
+
+    /** Sense latency of attempt @p attempt (0 = base tR, exactly). */
+    Tick senseTime(Tick t_read, std::uint32_t attempt) const;
+
+    std::uint64_t drawsTaken() const { return draws_; }
+
+  private:
+    FaultSpec spec_;
+    double ucp_;
+    Rng rng_;
+    std::uint64_t draws_ = 0;
+};
+
+} // namespace camllm::flash
+
+#endif // CAMLLM_FLASH_FAULT_H

@@ -1,12 +1,14 @@
 #include "flash_system.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace camllm::flash {
 
 FlashSystem::FlashSystem(EventQueue &eq, const FlashParams &params,
                          std::uint32_t tile_window, bool slice_control)
-    : params_(params), router_(eq)
+    : eq_(eq), params_(params), router_(eq)
 {
     if (!params_.valid())
         fatal("invalid flash configuration");
@@ -95,6 +97,124 @@ FlashSystem::busBusySum() const
     for (const auto &ch : channels_)
         sum += double(ch->bus().busy().busyTicks());
     return sum;
+}
+
+std::uint64_t
+FlashSystem::retryReads() const
+{
+    std::uint64_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->retryReads();
+    return n;
+}
+
+std::uint32_t
+FlashSystem::aliveChannels() const
+{
+    std::uint32_t n = 0;
+    for (const auto &ch : channels_)
+        n += ch->offline() ? 0 : 1;
+    return n;
+}
+
+void
+FlashSystem::armFaults(const FaultSpec &spec)
+{
+    CAMLLM_ASSERT(!fault_model_, "faults armed twice");
+    if (!spec.any())
+        return;
+    fault_model_ = std::make_unique<FaultModel>(spec);
+    for (auto &ch : channels_)
+        ch->setFaultModel(fault_model_.get());
+
+    bool any_offline = false;
+    for (const ChannelFault &f : spec.channel_faults) {
+        CAMLLM_ASSERT(f.channel < channelCount(),
+                      "fault on channel %u of %u", f.channel,
+                      channelCount());
+        any_offline = any_offline || f.offline;
+    }
+
+    // A dead channel strands its share of the resident weights; seed
+    // the placement map so the remap knows how much moves where.
+    if (any_offline && spec.model_weight_bytes > 0) {
+        placement_ = std::make_unique<WeightPlacement>(params_.geometry);
+        const std::uint64_t pages =
+            (spec.model_weight_bytes + params_.geometry.page_bytes - 1) /
+            params_.geometry.page_bytes;
+        placement_->seedStriped(pages);
+    }
+
+    for (const ChannelFault &f : spec.channel_faults) {
+        if (f.offline) {
+            eq_.schedule(f.t0,
+                         [this, c = f.channel] { takeChannelOffline(c); });
+        } else {
+            eq_.schedule(f.t0, [this, c = f.channel, s = f.slowdown] {
+                if (!channels_[c]->offline())
+                    channels_[c]->bus().setRateScale(1.0 / s);
+            });
+            eq_.schedule(f.t1, [this, c = f.channel] {
+                if (!channels_[c]->offline())
+                    channels_[c]->bus().setRateScale(1.0);
+            });
+        }
+    }
+}
+
+std::uint32_t
+FlashSystem::route(std::uint32_t ch)
+{
+    if (!channels_[ch]->offline())
+        return ch;
+    const std::uint32_t n = channelCount();
+    for (std::uint32_t probe = 0; probe < n; ++probe) {
+        const std::uint32_t c = (ch + 1 + redirect_rr_ + probe) % n;
+        if (!channels_[c]->offline()) {
+            redirect_rr_ = (redirect_rr_ + 1) % n;
+            return c;
+        }
+    }
+    fatal("all flash channels are offline");
+}
+
+void
+FlashSystem::takeChannelOffline(std::uint32_t ch)
+{
+    if (channels_[ch]->offline())
+        return;
+    CAMLLM_ASSERT(aliveChannels() > 1, "cannot lose the last channel");
+    ++channels_lost_;
+    warn("flash channel %u went offline (%u surviving)", ch,
+         aliveChannels() - 1);
+
+    ChannelEngine::OfflineWork stranded = channels_[ch]->failOffline();
+
+    // One-time rebuild: the dead channel's resident pages re-stripe
+    // across the survivors, and the copy-in traffic occupies their
+    // buses as bulk low-priority grants.
+    if (placement_) {
+        const std::uint64_t pages = placement_->remapChannel(ch);
+        std::uint64_t bytes = pages * params_.geometry.page_bytes;
+        remap_bytes_ += bytes;
+        const std::uint32_t chunk =
+            fault_model_->spec().remap_chunk_bytes;
+        while (bytes > 0) {
+            const std::uint64_t b = std::min<std::uint64_t>(chunk, bytes);
+            bytes -= b;
+            const std::uint32_t c = route(ch);
+            channels_[c]->bus().request(BusPriority::Low, b, [] {},
+                                        "remap");
+        }
+    }
+
+    // Stranded jobs complete-with-failure on the dead channel (their
+    // completions are suppressed) and re-issue on the survivors.
+    reissued_jobs_ += stranded.tiles.size() + stranded.reads.size();
+    for (const RcTileWork &t : stranded.tiles)
+        submitTile(ch, t);
+    for (const ReadPageJob &j : stranded.reads)
+        submitRead(ch, j);
 }
 
 } // namespace camllm::flash

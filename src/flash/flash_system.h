@@ -17,7 +17,9 @@
 
 #include "flash/channel_engine.h"
 #include "flash/completion.h"
+#include "flash/fault.h"
 #include "flash/params.h"
+#include "flash/placement.h"
 #include "sim/event_queue.h"
 
 namespace camllm::flash {
@@ -36,6 +38,18 @@ class FlashSystem
         return router_.connect(std::move(handler));
     }
 
+    /** Tear a client's completion port down early (cancellation):
+     *  queued and future records for the id are dropped. */
+    void disconnect(ClientId id) { router_.disconnect(id); }
+
+    /**
+     * Arm the fault spec: soft read failures on every die plus the
+     * scheduled channel slowdown/offline events. Call once, before
+     * the simulation starts. A spec with any() == false arms nothing
+     * and leaves every code path byte-identical to a fault-free run.
+     */
+    void armFaults(const FaultSpec &spec);
+
     const FlashParams &params() const { return params_; }
     std::uint32_t channelCount() const { return params_.geometry.channels; }
     ChannelEngine &channel(std::uint32_t c) { return *channels_[c]; }
@@ -44,19 +58,26 @@ class FlashSystem
         return *channels_[c];
     }
 
-    /** Submit one channel's slice of a read-compute tile. */
+    /** Submit one channel's slice of a read-compute tile. A dead
+     *  channel's traffic is striped over the survivors. */
     void
     submitTile(std::uint32_t ch, const RcTileWork &tile)
     {
-        channels_[ch]->submitTile(tile);
+        channels_[route(ch)]->submitTile(tile);
     }
 
-    /** Submit an ordinary page read on channel @p ch. */
+    /** Submit an ordinary page read on channel @p ch (rerouted the
+     *  same way when the channel is dead). */
     void
     submitRead(std::uint32_t ch, const ReadPageJob &job)
     {
-        channels_[ch]->submitRead(job);
+        channels_[route(ch)]->submitRead(job);
     }
+
+    bool channelAlive(std::uint32_t c) const { return !channels_[c]->offline(); }
+
+    /** Channels still serving traffic. */
+    std::uint32_t aliveChannels() const;
 
     // --- aggregate statistics ------------------------------------------
     /** Mean bus utilization across channels over [0, elapsed). */
@@ -84,10 +105,43 @@ class FlashSystem
     /** Sum of channel-bus busy ticks over all channels. */
     double busBusySum() const;
 
+    // --- fault statistics ----------------------------------------------
+    /** Escalated re-senses performed across every die. */
+    std::uint64_t retryReads() const;
+
+    /** Failed-sense page bytes that crossed a channel before the
+     *  controller ECC rejected them (== deliveredBytes(Retry)). */
+    std::uint64_t retryBytes() const { return deliveredBytes(WorkClass::Retry); }
+
+    std::uint64_t remapBytes() const { return remap_bytes_; }
+    std::uint32_t channelsLost() const { return channels_lost_; }
+
+    /** Jobs stranded on dead channels and re-issued on survivors. */
+    std::uint64_t reissuedJobs() const { return reissued_jobs_; }
+
+    const FaultModel *faultModel() const { return fault_model_.get(); }
+
   private:
+    /** Redirect a dead channel's submissions across the survivors. */
+    std::uint32_t route(std::uint32_t ch);
+
+    /** Kill channel @p ch: remap its resident pages (rebuild traffic
+     *  charged over the surviving buses) and re-issue its stranded
+     *  jobs on the survivors. */
+    void takeChannelOffline(std::uint32_t ch);
+
+    EventQueue &eq_;
     FlashParams params_;
     CompletionRouter router_;
     std::vector<std::unique_ptr<ChannelEngine>> channels_;
+
+    std::unique_ptr<FaultModel> fault_model_;
+    std::unique_ptr<WeightPlacement> placement_;
+    std::uint32_t redirect_rr_ = 0;
+    std::uint32_t remap_rr_ = 0;
+    std::uint32_t channels_lost_ = 0;
+    std::uint64_t remap_bytes_ = 0;
+    std::uint64_t reissued_jobs_ = 0;
 };
 
 } // namespace camllm::flash

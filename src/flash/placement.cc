@@ -1,5 +1,7 @@
 #include "placement.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 
 namespace camllm::flash {
@@ -11,6 +13,7 @@ WeightPlacement::WeightPlacement(const FlashGeometry &g) : geometry_(g)
     next_page_.assign(std::size_t(g.channels) * g.diesPerChannel() *
                           g.planes_per_die,
                       0);
+    channel_dead_.assign(g.channels, false);
 }
 
 std::size_t
@@ -50,6 +53,8 @@ WeightPlacement::allocRcPage(std::uint32_t channel,
                              std::uint32_t die_in_channel)
 {
     CAMLLM_ASSERT(channel < geometry_.channels);
+    CAMLLM_ASSERT(!channel_dead_[channel],
+                  "allocating on dead channel %u", channel);
     CAMLLM_ASSERT(die_in_channel < geometry_.diesPerChannel());
     // Prefer the compute plane (plane 0); spill to later planes when
     // full so oversized models still place (timing is unaffected,
@@ -75,6 +80,8 @@ WeightPlacement::allocReadPage()
         std::uint64_t d = (rr_cursor_ + probe) % n_dies;
         auto channel = std::uint32_t(d / geometry_.diesPerChannel());
         auto die = std::uint32_t(d % geometry_.diesPerChannel());
+        if (channel_dead_[channel])
+            continue;
         // Fill from the last plane backwards so the compute plane is
         // consumed only when everything else is full.
         for (std::uint32_t p = geometry_.planes_per_die; p-- > 0;) {
@@ -87,6 +94,89 @@ WeightPlacement::allocReadPage()
     }
     fatal("flash device is full (%llu pages)",
           (unsigned long long)allocated_);
+}
+
+void
+WeightPlacement::seedStriped(std::uint64_t pages)
+{
+    CAMLLM_ASSERT(allocated_ + pages <= capacityPages(),
+                  "seeding %llu pages into %llu free",
+                  (unsigned long long)pages,
+                  (unsigned long long)(capacityPages() - allocated_));
+    const std::uint64_t n_planes = next_page_.size();
+    const std::uint64_t base = pages / n_planes;
+    std::uint64_t extra = pages % n_planes;
+    for (std::uint64_t i = 0; i < n_planes; ++i) {
+        std::uint64_t give = base + (extra > 0 ? 1 : 0);
+        if (extra > 0)
+            --extra;
+        CAMLLM_ASSERT(next_page_[i] + give <= pages_per_plane_,
+                      "plane overflow while seeding");
+        next_page_[i] += std::uint32_t(give);
+    }
+    allocated_ += pages;
+}
+
+std::uint64_t
+WeightPlacement::pagesOnChannel(std::uint32_t channel) const
+{
+    CAMLLM_ASSERT(channel < geometry_.channels);
+    const std::size_t per_ch =
+        std::size_t(geometry_.diesPerChannel()) * geometry_.planes_per_die;
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < per_ch; ++i)
+        n += next_page_[std::size_t(channel) * per_ch + i];
+    return n;
+}
+
+std::uint64_t
+WeightPlacement::remapChannel(std::uint32_t channel)
+{
+    CAMLLM_ASSERT(channel < geometry_.channels);
+    CAMLLM_ASSERT(!channel_dead_[channel],
+                  "channel %u already retired", channel);
+
+    const std::size_t per_ch =
+        std::size_t(geometry_.diesPerChannel()) * geometry_.planes_per_die;
+    std::uint64_t moved = 0;
+    for (std::size_t i = 0; i < per_ch; ++i) {
+        std::size_t idx = std::size_t(channel) * per_ch + i;
+        moved += next_page_[idx];
+        next_page_[idx] = 0;
+    }
+    channel_dead_[channel] = true;
+    retired_pages_ += std::uint64_t(per_ch) * pages_per_plane_;
+
+    // Count the surviving planes, then fill them as evenly as their
+    // free space allows (even share first, spill passes after).
+    std::vector<std::size_t> survivors;
+    for (std::uint32_t c = 0; c < geometry_.channels; ++c) {
+        if (channel_dead_[c])
+            continue;
+        for (std::size_t i = 0; i < per_ch; ++i)
+            survivors.push_back(std::size_t(c) * per_ch + i);
+    }
+    CAMLLM_ASSERT(!survivors.empty(), "last flash channel died");
+
+    std::uint64_t left = moved;
+    while (left > 0) {
+        std::uint64_t placed = 0;
+        const std::uint64_t share =
+            (left + survivors.size() - 1) / survivors.size();
+        for (std::size_t idx : survivors) {
+            if (left == 0)
+                break;
+            const std::uint64_t free = pages_per_plane_ - next_page_[idx];
+            const std::uint64_t give = std::min({free, share, left});
+            next_page_[idx] += std::uint32_t(give);
+            left -= give;
+            placed += give;
+        }
+        if (placed == 0)
+            fatal("surviving channels cannot hold %llu remapped pages",
+                  (unsigned long long)left);
+    }
+    return moved;
 }
 
 } // namespace camllm::flash

@@ -37,8 +37,38 @@ class WeightPlacement
     /** Allocate one read-share page, round-robin across all dies. */
     PageAddress allocReadPage();
 
+    /**
+     * Bulk-seed @p pages striped evenly across every plane — the
+     * resident weight image as loaded at boot. The fault layer uses
+     * this so a dead channel knows how much data it strands.
+     */
+    void seedStriped(std::uint64_t pages);
+
+    /** Pages currently resident on @p channel (0 once it is dead). */
+    std::uint64_t pagesOnChannel(std::uint32_t channel) const;
+
+    /**
+     * Channel @p channel died: retire its capacity and move its pages
+     * onto the surviving channels' planes, spread as evenly as their
+     * free space allows. Returns the page count moved (the rebuild
+     * traffic the caller charges over the surviving buses). Fatal
+     * when the survivors cannot hold the strands.
+     */
+    std::uint64_t remapChannel(std::uint32_t channel);
+
+    bool channelDead(std::uint32_t channel) const
+    {
+        return channel_dead_[channel];
+    }
+
     std::uint64_t pagesAllocated() const { return allocated_; }
-    std::uint64_t capacityPages() const { return geometry_.totalPages(); }
+
+    /** Device capacity excluding retired (dead-channel) planes. */
+    std::uint64_t
+    capacityPages() const
+    {
+        return geometry_.totalPages() - retired_pages_;
+    }
 
     /** Fraction of total device pages allocated. */
     double
@@ -62,8 +92,10 @@ class WeightPlacement
 
     FlashGeometry geometry_;
     std::vector<std::uint32_t> next_page_; ///< per-plane bump cursor
+    std::vector<bool> channel_dead_;
     std::uint64_t allocated_ = 0;
     std::uint64_t rr_cursor_ = 0;
+    std::uint64_t retired_pages_ = 0;
     std::uint32_t pages_per_plane_;
 };
 

@@ -33,10 +33,16 @@ enum class WorkClass : std::uint8_t
      *  request: weights re-stream through the channels, and the
      *  scheduler reports that overhead separately from first-pass
      *  prefill traffic. */
-    Recompute = 2
+    Recompute = 2,
+
+    /** Read-retry traffic: a page whose first sense failed ECC is
+     *  re-transferred after each escalated re-read, and those extra
+     *  bus bytes are billed here so fault overhead never pollutes the
+     *  Prefill/Decode/Recompute accounting. */
+    Retry = 3
 };
 
-inline constexpr std::size_t kWorkClasses = 3;
+inline constexpr std::size_t kWorkClasses = 4;
 
 /**
  * One atomic tile of a read-compute request, i.e.\ the single weight

@@ -454,17 +454,34 @@ TEST(KvServing, PreemptionDeterministicAcrossSweepThreads)
 
 // A request whose KV could never fit the whole pool is a config
 // error, reported before any simulation runs.
-TEST(KvServing, InfeasibleRequestIsFatal)
+// A request whose final KV demand exceeds the whole pool used to
+// abort the serve; now it is rejected gracefully at its admission
+// point and every other request is still served to completion.
+TEST(KvServing, InfeasibleRequestIsRejectedGracefully)
 {
     const CamConfig cfg = presetS();
     const llm::ModelConfig model = llm::opt6_7b();
-    const std::vector<ServeRequest> reqs = {{0, 4096, 8, 0}};
+    const std::vector<ServeRequest> reqs = {
+        {0, 16, 4, 0},   // fits: 20 final tokens of a 64-token pool
+        {0, 4096, 8, 0}, // can never fit — must not kill the serve
+        {0, 32, 2, 0},   // behind the infeasible head, still served
+    };
     SchedOptions opt;
     opt.max_batch = 1;
     opt.kv_block_tokens = 16;
     opt.kv_budget_bytes = 4 * 16 * tokenKvBytes(model); // 64 tokens
-    EXPECT_EXIT(Scheduler(cfg, model).serve(reqs, opt),
-                ::testing::ExitedWithCode(1), "KV demand");
+    const ServeStats st = Scheduler(cfg, model).serve(reqs, opt);
+    EXPECT_EQ(st.rejected_infeasible, 1u);
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_EQ(st.admitted, 2u);
+    EXPECT_EQ(st.requests[1].outcome,
+              RequestOutcome::RejectedInfeasible);
+    EXPECT_EQ(st.requests[1].tokens_emitted, 0u);
+    EXPECT_EQ(st.requests[0].outcome, RequestOutcome::Completed);
+    EXPECT_EQ(st.requests[2].outcome, RequestOutcome::Completed);
+    // Drain audit inside serve() already asserted zero leaks; the
+    // rejected request must not have distorted the survivors.
+    EXPECT_GT(st.requests[2].tokens_per_s, 0.0);
 }
 
 } // namespace

@@ -31,18 +31,33 @@
  *     The zero-fault point self-checks bit-identical against a run
  *     without any resilience knob armed.
  *
+ *  6. A reliability co-design sweep (`--reliability-sweep` for just
+ *     this section): the same scenario on an aged, unevenly worn
+ *     device with per-plane wear tracking armed, gridded over wear
+ *     policy (bump vs least-worn) x ECC correction strength x
+ *     retention-refresh rate. Records goodput, retry volume, TBT/TTFT
+ *     tails, the per-plane P/E spread and scrub traffic per point
+ *     plus the decoder area/power each ECC strength costs
+ *     (`reliability_sweep.*` keys; one harsh corner also runs in
+ *     --smoke). Full runs self-check that retries fall monotonically
+ *     with ECC strength, that wear leveling shrinks the P/E spread
+ *     wherever refresh programs flow, and that the co-design knobs at
+ *     inert values leave a PR 6-style fault timeline bit-identical.
+ *
  * Emits BENCH_serving.json.
  *
  * Usage: bench_serving [--smoke] [--arrivals] [--kv-sweep]
- *                      [--fault-sweep]
+ *                      [--fault-sweep] [--reliability-sweep]
  *   --smoke       CI subset: batches {1,4}, contended batch 4, the
- *                 SLO smoke scenario, one KV budget point and one
- *                 fault point.
+ *                 SLO smoke scenario, one KV budget point, one fault
+ *                 point and one reliability point.
  *   --arrivals    arrival-driven sections only (skips batch sweeps).
  *   --kv-sweep    KV capacity sweep only.
  *   --fault-sweep fault sweep only.
+ *   --reliability-sweep reliability co-design sweep only.
  */
 
+#include <array>
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -50,10 +65,13 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "core/area_model.h"
 #include "core/arrivals.h"
 #include "core/batch_engine.h"
 #include "core/scheduler.h"
 #include "core/sweep.h"
+#include "flash/params.h"
+#include "flash/placement.h"
 #include "json_out.h"
 
 using namespace camllm;
@@ -134,7 +152,7 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false, arrivals_only = false, kv_only = false,
-         fault_only = false;
+         fault_only = false, rel_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
@@ -144,6 +162,8 @@ main(int argc, char **argv)
             kv_only = true;
         else if (std::strcmp(argv[i], "--fault-sweep") == 0)
             fault_only = true;
+        else if (std::strcmp(argv[i], "--reliability-sweep") == 0)
+            rel_only = true;
     }
     const auto wall0 = std::chrono::steady_clock::now();
     bench::banner("serving: continuous batching, NPU contention, "
@@ -159,7 +179,7 @@ main(int argc, char **argv)
     json.addString("preset", cfg.name);
     json.addString("model", model.name);
 
-    if (!arrivals_only && !kv_only && !fault_only) {
+    if (!arrivals_only && !kv_only && !fault_only && !rel_only) {
         const std::vector<core::RequestSpec> reqs =
             mixedWorkload(smoke ? 8 : 16, 1);
         const std::vector<std::uint32_t> batches =
@@ -314,7 +334,7 @@ main(int argc, char **argv)
         return sched.serve(trace, opt);
     };
 
-    if (!kv_only && !fault_only) {
+    if (!kv_only && !fault_only && !rel_only) {
         const auto pair = sweep.map<core::ServeStats>(
             2, [&](std::size_t i) {
                 return i == 0
@@ -338,7 +358,7 @@ main(int argc, char **argv)
         addSlo(json, "slo_smoke.chunked256", pair[1]);
     }
 
-    if (!smoke && !kv_only && !fault_only) {
+    if (!smoke && !kv_only && !fault_only && !rel_only) {
         // Arrival-rate sweep: the capacity-planning view. Indices map
         // to (rate x policy) pairs; results stay deterministic and
         // index-ordered under the sweep pool.
@@ -407,7 +427,7 @@ main(int argc, char **argv)
     // that the scheduler queues admissions, preempts the
     // latest-arrived running request and recomputes evicted KV. The
     // 50% point runs identically in --smoke so CI diffs its keys.
-    if (!fault_only) {
+    if (!fault_only && !rel_only) {
         const std::uint32_t block_tokens = 64;
         const core::ArrivalTrace kv_trace =
             core::ArrivalTrace::poisson(0.5, 6, 13, shapes);
@@ -498,7 +518,7 @@ main(int argc, char **argv)
     // self-check the zero-fault point bit-identical against a serve
     // with no resilience knob armed and goodput/TTFT monotone along
     // the fault-rate axis.
-    if (!kv_only) {
+    if (!kv_only && !rel_only) {
         struct UcpPoint
         {
             const char *label;
@@ -652,6 +672,244 @@ main(int argc, char **argv)
                       << (monotone ? "yes" : "NO") << "\n";
             json.add("fault_sweep.monotone",
                      std::uint64_t(monotone ? 1 : 0));
+        }
+    }
+
+    // --- reliability co-design sweep ------------------------------------
+    // The SLO smoke scenario on an aged, unevenly worn device: 500 h
+    // retention at a mean 2000 P/E with a +/-60% per-plane gradient,
+    // per-plane wear tracking deriving every read's failure rate from
+    // the target plane. The grid crosses the wear-leveling policy
+    // (bump re-writes in place, least-worn steers programs at the
+    // freshest plane) with the on-die ECC correction strength (the
+    // binomial codeword tail replaces the hand-set UCP; stronger ECC
+    // senses slower but collapses the retry tail) and the background
+    // retention-refresh rate (scrub reads + re-writes compete with
+    // serving traffic on the channel buses). The bump/ECC-32/fastest-
+    // refresh corner runs identically in --smoke so CI diffs its
+    // keys.
+    if (rel_only || (!arrivals_only && !kv_only && !fault_only)) {
+        struct EccPoint
+        {
+            const char *label;
+            std::uint32_t bits;
+        };
+        struct RefreshPoint
+        {
+            const char *label;
+            double pages_per_s;
+        };
+        const char *pol_labels[] = {"bump", "leastworn"};
+        const flash::WearPolicy pols[] = {flash::WearPolicy::Bump,
+                                          flash::WearPolicy::LeastWorn};
+        const EccPoint eccs[] = {
+            {"ecc16", 16}, {"ecc32", 32}, {"ecc48", 48}};
+        const RefreshPoint refs[] = {
+            {"r0", 0.0}, {"r200", 200.0}, {"r1000", 1000.0}};
+
+        const auto relOpts = [&](std::size_t p, std::size_t r,
+                                 std::size_t e) {
+            core::SchedOptions opt;
+            opt.max_batch = 4;
+            opt.policy = core::SchedPolicy::ChunkedInterleave;
+            opt.prefill_chunk = 256;
+            opt.npu_contention = false; // see the fault sweep's note
+            opt.request_deadline = 60 * kSec;
+            opt.slo_ttft_ms = 300000.0;
+            opt.degrade = core::DegradePolicy::ShedNewest;
+            opt.faults.seed = 17;
+            opt.faults.retention_hours = 500.0;
+            opt.faults.pe_cycles = 2000.0;
+            opt.faults.wear_tracking = true;
+            opt.faults.wear_skew = 0.6;
+            opt.faults.wear_policy = pols[p];
+            opt.faults.ecc_correctable_bits = eccs[e].bits;
+            opt.faults.refresh_pages_per_s = refs[r].pages_per_s;
+            return opt;
+        };
+
+        // (policy, refresh, ecc) grid. Smoke runs the harshest corner
+        // that fits the CI budget: wear-oblivious placement, fastest
+        // refresh, mid-strength ECC (the weakest ECC point climbs
+        // millions of retry rungs — too slow for a smoke run).
+        std::vector<std::array<std::size_t, 3>> grid;
+        if (smoke)
+            grid.push_back({0, 2, 1});
+        else
+            for (std::size_t p = 0; p < 2; ++p)
+                for (std::size_t r = 0; r < 3; ++r)
+                    for (std::size_t e = 0; e < 3; ++e)
+                        grid.push_back({p, r, e});
+
+        const auto rstats = sweep.map<core::ServeStats>(
+            grid.size(), [&](std::size_t i) {
+                return sched.serve(smoke_trace,
+                                   relOpts(grid[i][0], grid[i][1],
+                                           grid[i][2]));
+            });
+
+        Table t("Reliability co-design sweep (aged device, per-plane "
+                "wear, 500 h / 2000 P/E +/-60%)");
+        t.header({"point", "goodput tok/s", "done", "retries",
+                  "retry MB", "TBT p99", "TTFT p95", "P/E spread",
+                  "scrub pages", "scrub MB"});
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const core::ServeStats &s = rstats[i];
+            const std::string name =
+                std::string(pol_labels[grid[i][0]]) + "_" +
+                eccs[grid[i][2]].label + "_" + refs[grid[i][1]].label;
+            t.row({name, Table::fmt(s.goodput_tokens_per_s, 4),
+                   Table::fmtInt(s.completed),
+                   Table::fmtInt(std::uint32_t(s.read_retries)),
+                   Table::fmt(double(s.retry_channel_bytes) / 1e6, 1),
+                   Table::fmt(s.tbt.p99_ms, 0),
+                   Table::fmt(s.ttft.p95_ms, 0),
+                   Table::fmt(s.wear_spread_pe, 3),
+                   Table::fmtInt(std::uint32_t(s.refresh_pages)),
+                   Table::fmt(double(s.refresh_channel_bytes) / 1e6,
+                              1)});
+            const std::string p = "reliability_sweep." + name;
+            json.add(p + ".goodput_tokens_per_s",
+                     s.goodput_tokens_per_s);
+            json.add(p + ".completed", std::uint64_t(s.completed));
+            json.add(p + ".read_retries", s.read_retries);
+            json.add(p + ".retry_channel_mb",
+                     double(s.retry_channel_bytes) / 1e6);
+            json.add(p + ".tbt.p99_ms", s.tbt.p99_ms);
+            json.add(p + ".ttft.p95_ms", s.ttft.p95_ms);
+            json.add(p + ".wear_spread_pe", s.wear_spread_pe);
+            json.add(p + ".wear_mean_pe", s.wear_mean_pe);
+            json.add(p + ".refresh_pages", s.refresh_pages);
+            json.add(p + ".refresh_mb",
+                     double(s.refresh_channel_bytes) / 1e6);
+        }
+        t.print(std::cout);
+
+        // The area/power side of the ECC axis: what each correction
+        // strength costs in decoder silicon (the serving axes above
+        // are what it buys).
+        for (const EccPoint &e : eccs) {
+            const std::string p =
+                std::string("reliability_sweep.") + e.label;
+            json.add(p + ".decoder_area_um2",
+                     core::eccDecoderAreaUm2(e.bits));
+            json.add(p + ".decoder_power_uw",
+                     core::eccDecoderPowerUw(e.bits));
+        }
+
+        // Refresh accounting: scrub work happens exactly when armed,
+        // and every completed scrub page paid at least its re-write
+        // on a channel bus.
+        const std::uint32_t page_bytes =
+            flash::FlashParams{}.geometry.page_bytes;
+        bool refresh_ok = true;
+        for (std::size_t i = 0; i < grid.size(); ++i) {
+            const core::ServeStats &s = rstats[i];
+            if (refs[grid[i][1]].pages_per_s > 0.0)
+                refresh_ok = refresh_ok && s.refresh_pages > 0 &&
+                             s.refresh_channel_bytes >=
+                                 s.refresh_pages * page_bytes;
+            else
+                refresh_ok = refresh_ok && s.refresh_pages == 0 &&
+                             s.refresh_channel_bytes == 0;
+        }
+        std::cout << "refresh traffic accounted at every point: "
+                  << (refresh_ok ? "yes" : "NO") << "\n";
+        json.add("reliability_sweep.refresh_accounted",
+                 std::uint64_t(refresh_ok ? 1 : 0));
+
+        if (!smoke) {
+            // Stronger ECC must collapse the retry tail within every
+            // (policy, refresh) slice: escalated senses strictly fall
+            // and drained retry bytes never rise along the ECC axis.
+            bool ecc_monotone = true;
+            for (std::size_t p = 0; p < 2; ++p)
+                for (std::size_t r = 0; r < 3; ++r)
+                    for (std::size_t e = 1; e < 3; ++e) {
+                        const core::ServeStats &weak =
+                            rstats[(p * 3 + r) * 3 + e - 1];
+                        const core::ServeStats &strong =
+                            rstats[(p * 3 + r) * 3 + e];
+                        ecc_monotone =
+                            ecc_monotone &&
+                            strong.read_retries < weak.read_retries &&
+                            strong.retry_channel_bytes <=
+                                weak.retry_channel_bytes;
+                    }
+            std::cout << "retries fall monotonically with ECC "
+                         "strength: "
+                      << (ecc_monotone ? "yes" : "NO") << "\n";
+            json.add("reliability_sweep.ecc_monotone",
+                     std::uint64_t(ecc_monotone ? 1 : 0));
+
+            // Wear leveling shrinks the per-plane P/E spread wherever
+            // refresh actually programs pages (strictly — the
+            // least-worn policy steers every scrub re-write at the
+            // freshest plane, lifting the minimum), and cannot differ
+            // when nothing programs.
+            bool leveling_ok = true;
+            for (std::size_t r = 0; r < 3; ++r)
+                for (std::size_t e = 0; e < 3; ++e) {
+                    const core::ServeStats &bump =
+                        rstats[(0 * 3 + r) * 3 + e];
+                    const core::ServeStats &lev =
+                        rstats[(1 * 3 + r) * 3 + e];
+                    leveling_ok =
+                        leveling_ok &&
+                        (refs[r].pages_per_s > 0.0
+                             ? lev.wear_spread_pe < bump.wear_spread_pe
+                             : lev.wear_spread_pe ==
+                                   bump.wear_spread_pe);
+                }
+            std::cout << "wear leveling shrinks the P/E spread: "
+                      << (leveling_ok ? "yes" : "NO") << "\n";
+            json.add("reliability_sweep.leveling_reduces_spread",
+                     std::uint64_t(leveling_ok ? 1 : 0));
+
+            // Inert co-design knobs must not perturb a PR 6-style
+            // fault timeline: with wear tracking off, ECC strength 0
+            // and refresh off, setting the passive knobs (skew,
+            // codeword size, sense adder) replays the same serve
+            // bit-identically — the gating, not just the defaults, is
+            // what keeps the legacy fault sweep byte-stable.
+            core::SchedOptions legacy;
+            legacy.max_batch = 4;
+            legacy.policy = core::SchedPolicy::ChunkedInterleave;
+            legacy.prefill_chunk = 256;
+            legacy.npu_contention = false;
+            legacy.request_deadline = 60 * kSec;
+            legacy.slo_ttft_ms = 300000.0;
+            legacy.degrade = core::DegradePolicy::ShedNewest;
+            legacy.faults.ucp_rate = 0.05;
+            legacy.faults.retention_hours = 1000.0;
+            legacy.faults.pe_cycles = 1500.0;
+            legacy.faults.seed = 17;
+            legacy.faults.addOffline(0, 5 * kSec);
+            core::SchedOptions inert = legacy;
+            inert.faults.wear_skew = 0.6;
+            inert.faults.ecc_codeword_bytes = 2048;
+            inert.faults.ecc_sense_per_bit = 0.02;
+            const auto pair = sweep.map<core::ServeStats>(
+                2, [&](std::size_t i) {
+                    return sched.serve(smoke_trace,
+                                       i == 0 ? legacy : inert);
+                });
+            bool bit_exact =
+                pair[0].requests.size() == pair[1].requests.size();
+            for (std::size_t i = 0;
+                 bit_exact && i < pair[0].requests.size(); ++i)
+                bit_exact =
+                    pair[0].requests[i].finish_tick ==
+                        pair[1].requests[i].finish_tick &&
+                    pair[0].requests[i].total_token_time ==
+                        pair[1].requests[i].total_token_time &&
+                    pair[0].requests[i].prefill_time ==
+                        pair[1].requests[i].prefill_time;
+            std::cout << "inert co-design knobs bit-exact vs legacy "
+                         "fault serve: "
+                      << (bit_exact ? "yes" : "NO") << "\n";
+            json.add("reliability_sweep.inert_knobs_bit_exact",
+                     std::uint64_t(bit_exact ? 1 : 0));
         }
     }
 

@@ -17,4 +17,20 @@ computeCoreArea(const AreaModelParams &p)
     return r;
 }
 
+double
+eccDecoderAreaUm2(std::uint32_t correctable_bits,
+                  const AreaModelParams &p)
+{
+    return p.ecu_um2 * double(correctable_bits) /
+           double(p.ecu_baseline_bits);
+}
+
+double
+eccDecoderPowerUw(std::uint32_t correctable_bits,
+                  const AreaModelParams &p)
+{
+    return p.ecu_uw * double(correctable_bits) /
+           double(p.ecu_baseline_bits);
+}
+
 } // namespace camllm::core

@@ -28,6 +28,10 @@ struct AreaModelParams
     double ecu_um2 = 496.4;            ///< comparators + vote logic
     double ecu_uw = 0.4;
 
+    /** Correction strength (bits per codeword) the calibrated ecu
+     *  constants correspond to; eccDecoderAreaUm2 scales from here. */
+    std::uint32_t ecu_baseline_bits = 8;
+
     // Compute-core composition (paper design point).
     std::uint32_t n_macs = 2;
     std::uint32_t buffer_bytes = 2048; ///< input + output buffers
@@ -54,6 +58,21 @@ struct AreaReport
 
 /** Evaluate the component model. */
 AreaReport computeCoreArea(const AreaModelParams &params = {});
+
+/**
+ * On-die ECC decoder area for a correction strength of
+ * @p correctable_bits per codeword: linear BCH-style scaling of the
+ * calibrated error-correction-unit constant from its baseline
+ * strength. This is the area side of the ECC-strength co-design —
+ * computeCoreArea() itself is untouched, so the Table IV numbers
+ * stay at the paper's design point.
+ */
+double eccDecoderAreaUm2(std::uint32_t correctable_bits,
+                         const AreaModelParams &params = {});
+
+/** Matching decoder power scaling. */
+double eccDecoderPowerUw(std::uint32_t correctable_bits,
+                         const AreaModelParams &params = {});
 
 } // namespace camllm::core
 

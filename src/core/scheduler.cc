@@ -210,6 +210,15 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         }
     };
 
+    // The retention scrubber self-reschedules forever; once the last
+    // request has left the system (by any outcome) it must stop so
+    // the event queue can drain. Call after every exit accounting.
+    const auto noteRequestExit = [&] {
+        if (completed + n_shed + n_timeouts + n_cancelled + n_rejected ==
+            runs.size())
+            fs.stopRefresh();
+    };
+
     // Projected TTFT for an arriving request: every admitted run's
     // outstanding prefill + recompute tokens are ahead of the new
     // request's own prompt on the shared device.
@@ -327,6 +336,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         r.stats.finish_tick = eq.now();
         horizon = std::max(horizon, eq.now());
         countOutcome(why);
+        noteRequestExit();
         if (!r.admitted) {
             // Still queued: holds no blocks and no stream. It may be
             // the head of the admission queue — re-run admission so
@@ -419,6 +429,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         r.stats.finish_tick = eq.now();
         horizon = std::max(horizon, eq.now());
         ++completed;
+        noteRequestExit();
         CAMLLM_ASSERT(active > 0);
         --active;
         pool.release(r.kv);
@@ -549,6 +560,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                 head.stats.finish_tick = eq.now();
                 horizon = std::max(horizon, eq.now());
                 ++n_rejected;
+                noteRequestExit();
                 ++next_admit;
                 continue;
             }
@@ -571,6 +583,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                         head.stats.finish_tick = eq.now();
                         horizon = std::max(horizon, eq.now());
                         ++n_shed;
+                        noteRequestExit();
                         ++next_admit;
                         continue;
                     }
@@ -826,6 +839,11 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     out.remap_bytes = fs.remapBytes();
     out.channels_lost = fs.channelsLost();
     out.reissued_jobs = fs.reissuedJobs();
+    out.refresh_pages = fs.refreshPages();
+    out.refresh_channel_bytes = fs.refreshChannelBytes();
+    out.wear_spread_pe = fs.wearSpreadPe();
+    out.wear_mean_pe = fs.wearMeanPe();
+    out.wear_max_pe = fs.wearMaxPe();
     return out;
 }
 

@@ -155,11 +155,13 @@ struct SchedOptions
     DegradePolicy degrade = DegradePolicy::ShedNewest;
 
     /**
-     * Fault-injection spec forwarded to the flash device (seeded soft
-     * read failures plus the channel slowdown/offline schedule). The
-     * default spec injects nothing and leaves the event sequence
-     * byte-identical to a fault-free run; model_weight_bytes is
-     * filled from the model config if left 0.
+     * Fault-injection spec forwarded to the flash device: seeded soft
+     * read failures, the channel slowdown/offline schedule, and the
+     * reliability co-design knobs (per-plane wear tracking +
+     * leveling policy, ECC correction strength, retention-refresh
+     * rate). The default spec injects nothing and leaves the event
+     * sequence byte-identical to a fault-free run; model_weight_bytes
+     * is filled from the model config if left 0.
      */
     flash::FaultSpec faults;
 };
@@ -293,6 +295,13 @@ struct ServeStats
     std::uint64_t remap_bytes = 0;       ///< dead-channel rebuild I/O
     std::uint32_t channels_lost = 0;
     std::uint64_t reissued_jobs = 0;     ///< stranded jobs re-run
+
+    // --- reliability co-design (zero unless the spec arms it) ----------
+    std::uint64_t refresh_pages = 0;         ///< pages scrubbed
+    std::uint64_t refresh_channel_bytes = 0; ///< scrub read+write I/O
+    double wear_spread_pe = 0.0; ///< max-min per-plane effective P/E
+    double wear_mean_pe = 0.0;
+    double wear_max_pe = 0.0;
 };
 
 /** Multi-request prefill + decode co-scheduling simulation. */

@@ -19,4 +19,44 @@ retentionBer(double retention_hours, double pe_cycles,
     return std::min(ber, 0.499);
 }
 
+double
+codewordFailProb(double ber, std::uint32_t correctable_bits,
+                 std::uint32_t codeword_bytes)
+{
+    CAMLLM_ASSERT(codeword_bytes > 0);
+    if (ber <= 0.0)
+        return 0.0;
+    const double p = std::min(ber, 0.499);
+    const std::uint64_t n = std::uint64_t(codeword_bytes) * 8;
+    if (correctable_bits >= n)
+        return 0.0;
+    // P(X > t) = 1 - sum_{k<=t} C(n,k) p^k q^(n-k), summed in log
+    // space term by term (t is small, so the sum is cheap and exact).
+    const double lp = std::log(p);
+    const double lq = std::log1p(-p);
+    const double lgn = std::lgamma(double(n) + 1.0);
+    double cdf = 0.0;
+    for (std::uint64_t k = 0; k <= correctable_bits; ++k) {
+        const double lc = lgn - std::lgamma(double(k) + 1.0) -
+                          std::lgamma(double(n - k) + 1.0);
+        cdf += std::exp(lc + double(k) * lp + double(n - k) * lq);
+    }
+    return std::clamp(1.0 - cdf, 0.0, 1.0);
+}
+
+double
+pageUcp(double ber, std::uint32_t correctable_bits,
+        std::uint32_t codeword_bytes, std::uint32_t page_bytes)
+{
+    CAMLLM_ASSERT(codeword_bytes > 0 && page_bytes >= codeword_bytes);
+    const double cw = codewordFailProb(ber, correctable_bits,
+                                       codeword_bytes);
+    if (cw <= 0.0)
+        return 0.0;
+    const double n_cw = double((page_bytes + codeword_bytes - 1) /
+                               codeword_bytes);
+    // 1 - (1-cw)^n via log1p so tiny codeword tails don't cancel.
+    return -std::expm1(n_cw * std::log1p(-cw));
+}
+
 } // namespace camllm::ecc

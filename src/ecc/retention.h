@@ -29,9 +29,36 @@ struct RetentionParams
 /**
  * Raw bit error rate after @p retention_hours at @p pe_cycles of
  * program/erase wear. Monotone in both arguments; clamped to [0, 0.5).
+ *
+ * Saturation ownership: this layer owns *raw-bit* saturation — a BER
+ * at or above 0.5 would mean an inverted channel, so the fit clamps
+ * to [0, 0.5). Page-level saturation lives one layer up: the fault
+ * layer (flash::FaultSpec / flash::FaultModel) clamps every derived
+ * *uncorrectable-page* probability to [0, 0.9] so the read-retry
+ * ladder always keeps a decodable rung.
  */
 double retentionBer(double retention_hours, double pe_cycles,
                     const RetentionParams &params = {});
+
+/**
+ * Probability that one ECC codeword protecting @p codeword_bytes of
+ * payload sees more than @p correctable_bits raw bit errors at bit
+ * error rate @p ber — the exact binomial tail P(X > t), evaluated in
+ * log space so strengths up to hundreds of bits stay stable. Monotone
+ * increasing in @p ber and decreasing in @p correctable_bits.
+ */
+double codewordFailProb(double ber, std::uint32_t correctable_bits,
+                        std::uint32_t codeword_bytes);
+
+/**
+ * Uncorrectable-page probability of a @p page_bytes page striped into
+ * ceil(page/codeword) independent codewords: 1 - (1 - cw_fail)^n.
+ * This is the bridge from the retention fit to the runtime fault
+ * layer's retry ladder when an ECC strength is armed (the page fails
+ * if any codeword exceeds the correction budget).
+ */
+double pageUcp(double ber, std::uint32_t correctable_bits,
+               std::uint32_t codeword_bytes, std::uint32_t page_bytes);
 
 } // namespace camllm::ecc
 

@@ -7,9 +7,10 @@ namespace camllm::flash {
 ChannelEngine::ChannelEngine(EventQueue &eq, const FlashParams &params,
                              CompletionRouter &router,
                              std::uint32_t tile_window,
-                             bool slice_control)
+                             bool slice_control,
+                             std::uint32_t channel_index)
     : eq_(eq), params_(params), router_(router),
-      tile_window_(tile_window),
+      tile_window_(tile_window), channel_index_(channel_index),
       bus_(eq, params.timing.busBytesPerNs(), params.timing.grant_overhead,
            slice_control)
 {
@@ -25,7 +26,8 @@ ChannelEngine::ChannelEngine(EventQueue &eq, const FlashParams &params,
     cbs.retry_drained = [this](const ReadPageJob &j) { onRetryDrained(j); };
     dies_.reserve(n_dies);
     for (std::uint32_t i = 0; i < n_dies; ++i)
-        dies_.push_back(std::make_unique<DieModel>(eq_, bus_, params_, cbs));
+        dies_.push_back(std::make_unique<DieModel>(eq_, bus_, params_, cbs,
+                                                   channel_index_, i));
 }
 
 void

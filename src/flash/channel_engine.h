@@ -41,10 +41,14 @@ class ChannelEngine
      * @param slice_control enables the paper's Slice Control: priority
      * bus arbitration for rc traffic (the read-slicing half lives in
      * each ReadPageJob's `sliced` flag).
+     * @param channel_index this channel's position in the device, so
+     * its dies can look up their planes' wear state in a
+     * wear-tracking fault model.
      */
     ChannelEngine(EventQueue &eq, const FlashParams &params,
                   CompletionRouter &router, std::uint32_t tile_window = 3,
-                  bool slice_control = true);
+                  bool slice_control = true,
+                  std::uint32_t channel_index = 0);
 
     /** Queue a read-compute tile (this channel's slice of it). */
     void submitTile(const RcTileWork &tile);
@@ -119,6 +123,7 @@ class ChannelEngine
     FlashParams params_;
     CompletionRouter &router_;
     std::uint32_t tile_window_;
+    std::uint32_t channel_index_;
 
     ChannelBus bus_;
     std::vector<std::unique_ptr<DieModel>> dies_;

@@ -37,7 +37,7 @@ DieModel::advanceRc()
         cbs_.input_ready(rc_queue_.front().tile_seq)) {
         rc_reading_ = rc_queue_.front();
         rc_queue_.pop_front();
-        startRcSense(0, fault_ ? fault_->drawRetries() : 0);
+        startRcSense(0, fault_ ? drawFor(0) : 0);
     }
 
     // Stage 2: data register -> cache register move.
@@ -89,9 +89,12 @@ DieModel::startRcSense(std::uint32_t attempt, std::uint32_t retries)
     ++array_reads_;
     if (attempt > 0)
         ++retry_reads_;
-    const Tick tr = attempt == 0
-                        ? params_.timing.t_read
-                        : fault_->senseTime(params_.timing.t_read, attempt);
+    // Every sense routes through the fault model when armed: attempt
+    // 0 at default ECC strength is the base tR exactly, while an
+    // armed ECC strength pays its soft-sense factor on every attempt.
+    const Tick tr = fault_
+                        ? fault_->senseTime(params_.timing.t_read, attempt)
+                        : params_.timing.t_read;
     eq_.scheduleIn(tr, [this, attempt, retries] {
         if (offline_)
             return;
@@ -119,7 +122,15 @@ DieModel::pushReadJob(const ReadPageJob &job)
                   job.bytes <= params_.geometry.page_bytes,
                   "read job of %u bytes", job.bytes);
     rd_reading_ = job;
-    startReadSense(0, fault_ ? fault_->drawRetries() : 0);
+    startReadSense(0, fault_ ? drawFor(readPlane()) : 0);
+}
+
+std::uint32_t
+DieModel::drawFor(std::uint32_t plane)
+{
+    return fault_->wearAware()
+               ? fault_->drawRetriesForPlane(channel_, die_, plane)
+               : fault_->drawRetries();
 }
 
 /**
@@ -137,9 +148,9 @@ DieModel::startReadSense(std::uint32_t attempt, std::uint32_t retries)
     ++array_reads_;
     if (attempt > 0)
         ++retry_reads_;
-    const Tick tr = attempt == 0
-                        ? params_.timing.t_read
-                        : fault_->senseTime(params_.timing.t_read, attempt);
+    const Tick tr = fault_
+                        ? fault_->senseTime(params_.timing.t_read, attempt)
+                        : params_.timing.t_read;
     eq_.scheduleIn(tr, [this, attempt, retries] {
         if (offline_)
             return;

@@ -49,9 +49,13 @@ class DieModel
         std::function<void(const ReadPageJob &)> retry_drained;
     };
 
+    /** @p channel / @p die_in_channel identify this die so a wear-
+     *  tracking fault model can look up the target plane's state. */
     DieModel(EventQueue &eq, ChannelBus &bus, const FlashParams &params,
-             Callbacks cbs)
-        : eq_(eq), bus_(bus), params_(params), cbs_(std::move(cbs))
+             Callbacks cbs, std::uint32_t channel = 0,
+             std::uint32_t die_in_channel = 0)
+        : eq_(eq), bus_(bus), params_(params), cbs_(std::move(cbs)),
+          channel_(channel), die_(die_in_channel)
     {
     }
 
@@ -103,10 +107,23 @@ class DieModel
     void startReadSense(std::uint32_t attempt, std::uint32_t retries);
     void drainFailedRead(std::uint32_t attempt, std::uint32_t retries);
 
+    /** Ladder draw for a fresh sense of @p plane: per-plane wear when
+     *  the fault model tracks it, the uniform spec draw otherwise. */
+    std::uint32_t drawFor(std::uint32_t plane);
+
+    /** Plane ordinary reads are served from (the read-share plane
+     *  when the die has more than one). */
+    std::uint32_t readPlane() const
+    {
+        return params_.geometry.planes_per_die > 1 ? 1 : 0;
+    }
+
     EventQueue &eq_;
     ChannelBus &bus_;
     FlashParams params_;
     Callbacks cbs_;
+    std::uint32_t channel_ = 0;
+    std::uint32_t die_ = 0;
 
     // read-compute plane pipeline
     std::deque<RcPageJob> rc_queue_;

@@ -46,31 +46,110 @@ FaultSpec::effectiveUcpRate() const
     return std::min(ucp_rate * scale, 0.9);
 }
 
-std::uint32_t
-FaultModel::drawRetries()
+FaultModel::FaultModel(const FaultSpec &spec, std::uint32_t page_bytes)
+    : spec_(spec), page_bytes_(page_bytes), rng_(spec.seed)
 {
-    if (ucp_ <= 0.0)
+    CAMLLM_ASSERT(page_bytes_ > 0);
+    uniform_ber_ =
+        ecc::retentionBer(spec_.retention_hours, spec_.pe_cycles);
+    ucp_ = spec_.ecc_correctable_bits > 0
+               ? ucpAt(spec_.retention_hours, spec_.pe_cycles)
+               : spec_.effectiveUcpRate();
+}
+
+double
+FaultModel::ucpAt(double age_hours, double pe_cycles) const
+{
+    const ecc::RetentionParams rp;
+    const double ber = ecc::retentionBer(age_hours, pe_cycles, rp);
+    if (spec_.ecc_correctable_bits > 0) {
+        return std::min(ecc::pageUcp(ber, spec_.ecc_correctable_bits,
+                                     spec_.ecc_codeword_bytes,
+                                     page_bytes_),
+                        0.9);
+    }
+    if (spec_.ucp_rate <= 0.0)
+        return 0.0;
+    return std::min(spec_.ucp_rate * (ber / rp.base_ber), 0.9);
+}
+
+std::uint32_t
+FaultModel::climbLadder(double ucp0, double ber0)
+{
+    if (ucp0 <= 0.0)
         return 0;
     std::uint32_t r = 0;
-    double p = ucp_;
+    double p = ucp0;
+    double ber = ber0;
     while (r < spec_.ladder.max_retries) {
         ++draws_;
         if (!rng_.chance(p))
             break;
         ++r;
-        p *= spec_.ladder.retry_fail_decay;
+        if (spec_.ecc_correctable_bits > 0) {
+            // Shifted read levels lower the raw BER; re-derive the
+            // rung's failure probability from the codeword tail,
+            // which collapses super-geometrically for strong codes.
+            ber *= spec_.ladder.retry_fail_decay;
+            p = std::min(ecc::pageUcp(ber, spec_.ecc_correctable_bits,
+                                      spec_.ecc_codeword_bytes,
+                                      page_bytes_),
+                         0.9);
+        } else {
+            p *= spec_.ladder.retry_fail_decay;
+        }
     }
     return r;
+}
+
+std::uint32_t
+FaultModel::drawRetries()
+{
+    return climbLadder(ucp_, uniform_ber_);
+}
+
+std::uint32_t
+FaultModel::drawRetriesForPlane(std::uint32_t channel,
+                                std::uint32_t die_in_channel,
+                                std::uint32_t plane)
+{
+    if (!wear_)
+        return drawRetries();
+    const std::size_t idx =
+        wear_->planeIndex(channel, die_in_channel, plane);
+    const double pe = wear_->planeWear(idx);
+    const double age = wear_->planeAge(idx);
+    const double frac = wear_->planeFreshFraction(idx);
+    double ucp0 = ucpAt(age, pe);
+    double ber0 = ecc::retentionBer(age, pe);
+    if (frac > 0.0) {
+        // A read hits a scrubbed (fresh) page with probability frac;
+        // mix the aged and fresh failure rates accordingly.
+        ucp0 = (1.0 - frac) * ucp0 + frac * ucpAt(0.0, pe);
+        ber0 = (1.0 - frac) * ber0 +
+               frac * ecc::retentionBer(0.0, pe);
+    }
+    return climbLadder(ucp0, ber0);
+}
+
+double
+FaultModel::eccSenseScale() const
+{
+    if (spec_.ecc_correctable_bits == 0)
+        return 1.0;
+    return 1.0 + spec_.ecc_sense_per_bit *
+                     double(spec_.ecc_correctable_bits);
 }
 
 Tick
 FaultModel::senseTime(Tick t_read, std::uint32_t attempt) const
 {
+    const double scale = eccSenseScale();
     if (attempt == 0)
-        return t_read;
+        return scale == 1.0 ? t_read : Tick(double(t_read) * scale);
     const double esc =
         std::pow(spec_.ladder.sense_escalation, double(attempt));
-    return Tick(double(t_read) * esc);
+    return Tick(double(t_read) * esc * scale);
 }
 
 } // namespace camllm::flash

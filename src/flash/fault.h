@@ -19,6 +19,15 @@
  *    across the survivors and the rebuild traffic is charged over the
  *    surviving buses.
  *
+ * On top of those, the reliability co-design knobs (all default-off):
+ * per-plane wear tracking derives each read's UCP from the *target
+ * plane's* tracked P/E and age instead of the uniform spec scalars;
+ * an ECC correction strength replaces the hand-set ucp_rate with the
+ * binomial codeword tail of the read's raw BER (stronger ECC senses
+ * slower but collapses the retry tail far faster than the geometric
+ * ladder decay); and a background refresh rate scrubs the
+ * oldest-resident pages through the normal channel queues.
+ *
  * The model owns a single Rng consumed in event order. Each serve()
  * run is single threaded, so identical specs give identical fault
  * timelines regardless of how many sweep runs execute in parallel.
@@ -32,6 +41,7 @@
 
 #include "common/rng.h"
 #include "common/units.h"
+#include "flash/placement.h"
 
 namespace camllm::flash {
 
@@ -46,7 +56,10 @@ struct RetryLadder
     double sense_escalation = 1.5;
 
     /** Each rung's shifted read level is likelier to decode: rung k
-     *  fails with ucp * decay^k. */
+     *  fails with ucp * decay^k. With an ECC strength armed the decay
+     *  applies to the raw BER instead and each rung's failure
+     *  probability is re-derived from the codeword tail, which falls
+     *  much faster than geometrically for strong codes. */
     double retry_fail_decay = 0.25;
 };
 
@@ -64,12 +77,15 @@ struct ChannelFault
 struct FaultSpec
 {
     /** Uncorrectable-page probability per fresh array read, before
-     *  retention/wear scaling. 0 disables soft read failures. */
+     *  retention/wear scaling. 0 disables soft read failures.
+     *  Ignored when ecc_correctable_bits > 0 (the UCP then derives
+     *  from the codeword tail instead of this hand-set rate). */
     double ucp_rate = 0.0;
 
     /** Modeled data age / wear: scales ucp_rate by
      *  retentionBer(hours, pe) / base_ber, so the same knob that
-     *  drives bench_fig03b drives runtime failures. 0/0 = fresh. */
+     *  drives bench_fig03b drives runtime failures. 0/0 = fresh.
+     *  With wear_tracking these also seed the per-plane state. */
     double retention_hours = 0.0;
     double pe_cycles = 0.0;
 
@@ -78,25 +94,79 @@ struct FaultSpec
     std::vector<ChannelFault> channel_faults;
 
     /** Resident weight bytes, used to size the remap performed when a
-     *  channel goes offline. The scheduler fills this from the model
-     *  config when it arms faults; standalone users set it directly. */
+     *  channel goes offline and to seed the wear/refresh placement
+     *  map. The scheduler fills this from the model config when it
+     *  arms faults; standalone users set it directly. */
     std::uint64_t model_weight_bytes = 0;
 
     /** Bus-grant granularity of remap rebuild traffic. */
     std::uint32_t remap_chunk_bytes = 1u << 20;
 
+    // --- reliability co-design (defaults arm nothing new) --------------
+    /**
+     * Derive each read's UCP from the *target plane's* tracked wear
+     * and age instead of the uniform spec scalars, so planes that
+     * absorb programs (seeding, remap rebuilds, refresh re-writes)
+     * fail more and the per-channel fault schedule emerges from
+     * traffic. Requires model_weight_bytes (the scheduler fills it).
+     */
+    bool wear_tracking = false;
+
+    /** Placement policy for programs; see WearPolicy. */
+    WearPolicy wear_policy = WearPolicy::Bump;
+
+    /** Initial per-plane P/E gradient: base wear spans
+     *  pe_cycles * [1-skew, 1+skew] across the flat plane order
+     *  (the uneven starting profile wear leveling works against). */
+    double wear_skew = 0.0;
+
+    /**
+     * On-die ECC correction strength in correctable bits per
+     * codeword. 0 keeps the legacy ucp_rate path. > 0 derives every
+     * ladder rung's failure probability from ecc::pageUcp at the
+     * read's raw BER; stronger ECC costs sense latency
+     * (ecc_sense_per_bit) and decoder area (core::eccDecoderAreaUm2)
+     * but flattens the retry tail.
+     */
+    std::uint32_t ecc_correctable_bits = 0;
+
+    /** Payload bytes one codeword protects. */
+    std::uint32_t ecc_codeword_bytes = 1024;
+
+    /** Fractional tR adder per correctable bit: every sense (retry
+     *  rungs included) takes t_read * (1 + bits * this) — the finer
+     *  soft-sense precision a stronger decoder needs. */
+    double ecc_sense_per_bit = 0.004;
+
+    /**
+     * Background retention-scrub rate in pages per second (0 = off).
+     * Each scrubbed page is read through the normal channel queues
+     * under WorkClass::Refresh and re-written over the channel bus,
+     * so refresh competes with serving reads for exactly the
+     * bandwidth it consumes.
+     */
+    double refresh_pages_per_s = 0.0;
+
     /** Convenience builders for the fault schedule. */
     void addSlowdown(std::uint32_t channel, double factor, Tick t0, Tick t1);
     void addOffline(std::uint32_t channel, Tick t0);
 
-    /** ucp_rate after retention/wear scaling, clamped to [0, 0.9]. */
+    /**
+     * ucp_rate after retention/wear scaling. Saturation ownership:
+     * ecc::retentionBer owns *raw-bit* saturation and clamps the BER
+     * to [0, 0.5); this layer owns page-level saturation and clamps
+     * every derived *uncorrectable-page* probability to [0, 0.9], so
+     * the retry ladder always keeps decodable rungs to climb toward.
+     */
     double effectiveUcpRate() const;
 
     /** Does this spec inject anything at all? */
     bool
     any() const
     {
-        return effectiveUcpRate() > 0.0 || !channel_faults.empty();
+        return effectiveUcpRate() > 0.0 || !channel_faults.empty() ||
+               wear_tracking || ecc_correctable_bits > 0 ||
+               refresh_pages_per_s > 0.0;
     }
 };
 
@@ -104,30 +174,65 @@ struct FaultSpec
 class FaultModel
 {
   public:
-    explicit FaultModel(const FaultSpec &spec)
-        : spec_(spec), ucp_(spec.effectiveUcpRate()), rng_(spec.seed)
-    {
-    }
+    explicit FaultModel(const FaultSpec &spec,
+                        std::uint32_t page_bytes = 16384);
 
     const FaultSpec &spec() const { return spec_; }
 
     /**
      * Retry rungs a fresh array read will climb before it decodes
-     * (0 = clean first sense). Consumes the shared random stream in
-     * event order, which is what makes the timeline deterministic.
+     * (0 = clean first sense), at the uniform spec-level wear.
+     * Consumes the shared random stream in event order, which is what
+     * makes the timeline deterministic.
      */
     std::uint32_t drawRetries();
 
-    /** Sense latency of attempt @p attempt (0 = base tR, exactly). */
+    /**
+     * drawRetries with the rung probabilities derived from the target
+     * plane's tracked wear, age and refreshed fraction. Falls back to
+     * the uniform draw when no wear source is armed, so dies can call
+     * it unconditionally.
+     */
+    std::uint32_t drawRetriesForPlane(std::uint32_t channel,
+                                      std::uint32_t die_in_channel,
+                                      std::uint32_t plane);
+
+    /** Attach the placement map whose per-plane wear drives
+     *  drawRetriesForPlane; must outlive the model. */
+    void setWearSource(const WeightPlacement *placement)
+    {
+        wear_ = placement;
+    }
+
+    bool wearAware() const { return wear_ != nullptr; }
+
+    /** UCP a read of data at @p age_hours / @p pe_cycles sees under
+     *  this spec (ECC codeword tail when armed, scaled ucp_rate
+     *  otherwise), before ladder decay. Clamped to [0, 0.9]. */
+    double ucpAt(double age_hours, double pe_cycles) const;
+
+    /** Sense latency of attempt @p attempt. Attempt 0 at default ECC
+     *  strength is the base tR, exactly; an armed ECC strength
+     *  multiplies every attempt by the soft-sense factor. */
     Tick senseTime(Tick t_read, std::uint32_t attempt) const;
+
+    /** tR multiplier the armed ECC strength imposes on every sense. */
+    double eccSenseScale() const;
 
     std::uint64_t drawsTaken() const { return draws_; }
 
   private:
+    /** Climb the ladder from first-sense probability @p ucp0; @p ber0
+     *  seeds the per-rung codeword-tail recompute when ECC is armed. */
+    std::uint32_t climbLadder(double ucp0, double ber0);
+
     FaultSpec spec_;
-    double ucp_;
+    std::uint32_t page_bytes_;
+    double ucp_;          ///< uniform first-sense UCP
+    double uniform_ber_;  ///< raw BER at the spec scalars
     Rng rng_;
     std::uint64_t draws_ = 0;
+    const WeightPlacement *wear_ = nullptr;
 };
 
 } // namespace camllm::flash

@@ -15,7 +15,7 @@ FlashSystem::FlashSystem(EventQueue &eq, const FlashParams &params,
     channels_.reserve(params_.geometry.channels);
     for (std::uint32_t c = 0; c < params_.geometry.channels; ++c) {
         channels_.push_back(std::make_unique<ChannelEngine>(
-            eq, params_, router_, tile_window, slice_control));
+            eq, params_, router_, tile_window, slice_control, c));
     }
 }
 
@@ -123,7 +123,8 @@ FlashSystem::armFaults(const FaultSpec &spec)
     CAMLLM_ASSERT(!fault_model_, "faults armed twice");
     if (!spec.any())
         return;
-    fault_model_ = std::make_unique<FaultModel>(spec);
+    fault_model_ =
+        std::make_unique<FaultModel>(spec, params_.geometry.page_bytes);
     for (auto &ch : channels_)
         ch->setFaultModel(fault_model_.get());
 
@@ -135,15 +136,29 @@ FlashSystem::armFaults(const FaultSpec &spec)
         any_offline = any_offline || f.offline;
     }
 
-    // A dead channel strands its share of the resident weights; seed
-    // the placement map so the remap knows how much moves where.
-    if (any_offline && spec.model_weight_bytes > 0) {
+    // A dead channel strands its share of the resident weights; wear
+    // tracking and the retention scrubber need the same map for their
+    // per-plane state. Seed it whenever any of the three is armed.
+    const bool wear_armed =
+        spec.wear_tracking || spec.refresh_pages_per_s > 0.0;
+    if ((any_offline || wear_armed) && spec.model_weight_bytes > 0) {
         placement_ = std::make_unique<WeightPlacement>(params_.geometry);
+        placement_->setWearPolicy(spec.wear_policy);
         const std::uint64_t pages =
             (spec.model_weight_bytes + params_.geometry.page_bytes - 1) /
             params_.geometry.page_bytes;
         placement_->seedStriped(pages);
+        placement_->seedWear(spec.pe_cycles, spec.wear_skew,
+                             spec.retention_hours);
+    } else if (wear_armed) {
+        warn("wear tracking / refresh armed without model_weight_bytes; "
+             "falling back to uniform wear");
     }
+
+    if (spec.wear_tracking && placement_)
+        fault_model_->setWearSource(placement_.get());
+    if (spec.refresh_pages_per_s > 0.0 && placement_)
+        startRefresh(spec.refresh_pages_per_s);
 
     for (const ChannelFault &f : spec.channel_faults) {
         if (f.offline) {
@@ -215,6 +230,101 @@ FlashSystem::takeChannelOffline(std::uint32_t ch)
         submitTile(ch, t);
     for (const ReadPageJob &j : stranded.reads)
         submitRead(ch, j);
+}
+
+void
+FlashSystem::startRefresh(double pages_per_s)
+{
+    CAMLLM_ASSERT(pages_per_s > 0.0);
+    refresh_armed_ = true;
+    refresh_interval_ =
+        std::max<Tick>(1, Tick(double(kSec) / pages_per_s));
+    refresh_client_ = router_.connect(
+        [this](const Completion &c) { onRefreshCompletion(c); });
+    eq_.scheduleIn(refresh_interval_, [this] { refreshTick(); });
+}
+
+/**
+ * One scrub beat: re-read one page of the stalest alive plane through
+ * the normal channel queue (WorkClass::Refresh), then re-write it on
+ * delivery. The beat self-reschedules at a fixed cadence so the scrub
+ * rate holds regardless of queue depth — which is exactly how it
+ * competes with serving reads for channel time.
+ */
+void
+FlashSystem::refreshTick()
+{
+    if (refresh_stopped_)
+        return;
+    eq_.scheduleIn(refresh_interval_, [this] { refreshTick(); });
+
+    const std::size_t src = placement_->stalestPlane();
+    if (src == placement_->planeCount())
+        return; // nothing resident anywhere alive
+    ReadPageJob j;
+    j.client = refresh_client_;
+    j.cls = WorkClass::Refresh;
+    j.op_id = ++refresh_seq_;
+    j.bytes = params_.geometry.page_bytes;
+    j.sliced = true;
+    refresh_src_.emplace(j.op_id, src);
+    submitRead(placement_->planeChannel(src), j);
+}
+
+void
+FlashSystem::onRefreshCompletion(const Completion &c)
+{
+    if (c.kind != Completion::Kind::ReadData)
+        return;
+    auto it = refresh_src_.find(c.op_id);
+    CAMLLM_ASSERT(it != refresh_src_.end(),
+                  "unknown refresh op %llu",
+                  (unsigned long long)c.op_id);
+    const std::size_t src = it->second;
+    refresh_src_.erase(it);
+
+    // The wear policy picks which physical plane absorbs the
+    // re-write: in place under Bump, the least-worn plane under
+    // LeastWorn (in place too when the source channel died while the
+    // read was in flight). The logical mapping is untouched — this is
+    // wear bookkeeping, the data stays addressable where it was.
+    std::size_t dst = src;
+    if (placement_->wearPolicy() == WearPolicy::LeastWorn ||
+        placement_->channelDead(placement_->planeChannel(src))) {
+        const std::size_t lw = placement_->leastWornPlane();
+        if (lw != placement_->planeCount())
+            dst = lw;
+    }
+
+    // The write-back crosses the destination plane's channel bus as a
+    // bulk low-priority grant, like remap rebuild traffic.
+    const std::uint32_t bytes = params_.geometry.page_bytes;
+    const std::uint32_t ch = route(placement_->planeChannel(dst));
+    refresh_write_bytes_ += bytes;
+    channels_[ch]->bus().request(BusPriority::Low, bytes,
+                                 [this, src, dst] {
+                                     placement_->noteRefresh(src, dst);
+                                     ++refresh_pages_;
+                                 },
+                                 "refresh-write");
+}
+
+double
+FlashSystem::wearSpreadPe() const
+{
+    return placement_ ? placement_->wearSpreadPe() : 0.0;
+}
+
+double
+FlashSystem::wearMeanPe() const
+{
+    return placement_ ? placement_->wearMeanPe() : 0.0;
+}
+
+double
+FlashSystem::wearMaxPe() const
+{
+    return placement_ ? placement_->wearMaxPe() : 0.0;
 }
 
 } // namespace camllm::flash

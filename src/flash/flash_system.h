@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "flash/channel_engine.h"
@@ -43,10 +44,12 @@ class FlashSystem
     void disconnect(ClientId id) { router_.disconnect(id); }
 
     /**
-     * Arm the fault spec: soft read failures on every die plus the
-     * scheduled channel slowdown/offline events. Call once, before
-     * the simulation starts. A spec with any() == false arms nothing
-     * and leaves every code path byte-identical to a fault-free run.
+     * Arm the fault spec: soft read failures on every die, the
+     * scheduled channel slowdown/offline events, and — when the spec
+     * asks — per-plane wear tracking, ECC-strength failure modeling
+     * and the retention-refresh scrubber. Call once, before the
+     * simulation starts. A spec with any() == false arms nothing and
+     * leaves every code path byte-identical to a fault-free run.
      */
     void armFaults(const FaultSpec &spec);
 
@@ -121,6 +124,37 @@ class FlashSystem
 
     const FaultModel *faultModel() const { return fault_model_.get(); }
 
+    // --- reliability co-design -----------------------------------------
+    /** Placement / wear map (null unless the armed spec needed one). */
+    const WeightPlacement *placement() const { return placement_.get(); }
+
+    /** Pages the retention scrubber has re-written. */
+    std::uint64_t refreshPages() const { return refresh_pages_; }
+
+    /** Scrub re-write bytes charged to the channel buses. */
+    std::uint64_t refreshWriteBytes() const { return refresh_write_bytes_; }
+
+    /** Total scrub bus traffic: re-read payload plus re-writes. */
+    std::uint64_t
+    refreshChannelBytes() const
+    {
+        return deliveredBytes(WorkClass::Refresh) + refresh_write_bytes_;
+    }
+
+    /**
+     * Stop issuing new scrub reads (in-flight ones drain normally).
+     * The scrubber is self-rescheduling, so a driver whose run ends
+     * when the event queue empties must call this once its own work
+     * is done; idempotent, and a no-op when refresh never armed.
+     */
+    void stopRefresh() { refresh_stopped_ = true; }
+
+    /** Per-plane wear summary over alive planes (0 without a
+     *  placement map). */
+    double wearSpreadPe() const;
+    double wearMeanPe() const;
+    double wearMaxPe() const;
+
   private:
     /** Redirect a dead channel's submissions across the survivors. */
     std::uint32_t route(std::uint32_t ch);
@@ -129,6 +163,11 @@ class FlashSystem
      *  charged over the surviving buses) and re-issue its stranded
      *  jobs on the survivors. */
     void takeChannelOffline(std::uint32_t ch);
+
+    // --- retention-refresh scrubber ------------------------------------
+    void startRefresh(double pages_per_s);
+    void refreshTick();
+    void onRefreshCompletion(const Completion &c);
 
     EventQueue &eq_;
     FlashParams params_;
@@ -142,6 +181,15 @@ class FlashSystem
     std::uint32_t channels_lost_ = 0;
     std::uint64_t remap_bytes_ = 0;
     std::uint64_t reissued_jobs_ = 0;
+
+    ClientId refresh_client_ = 0;
+    bool refresh_armed_ = false;
+    bool refresh_stopped_ = false;
+    Tick refresh_interval_ = 0;
+    std::uint64_t refresh_seq_ = 0;
+    std::uint64_t refresh_pages_ = 0;
+    std::uint64_t refresh_write_bytes_ = 0;
+    std::unordered_map<std::uint64_t, std::size_t> refresh_src_;
 };
 
 } // namespace camllm::flash

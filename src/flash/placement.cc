@@ -10,10 +10,14 @@ WeightPlacement::WeightPlacement(const FlashGeometry &g) : geometry_(g)
 {
     CAMLLM_ASSERT(g.valid());
     pages_per_plane_ = g.blocks_per_plane * g.pages_per_block;
-    next_page_.assign(std::size_t(g.channels) * g.diesPerChannel() *
-                          g.planes_per_die,
-                      0);
+    const std::size_t n_planes = std::size_t(g.channels) *
+                                 g.diesPerChannel() * g.planes_per_die;
+    next_page_.assign(n_planes, 0);
     channel_dead_.assign(g.channels, false);
+    programs_.assign(n_planes, 0);
+    refreshed_.assign(n_planes, 0);
+    base_pe_.assign(n_planes, 0.0);
+    age_hours_.assign(n_planes, 0.0);
 }
 
 std::size_t
@@ -27,6 +31,13 @@ WeightPlacement::planeIndex(std::uint32_t channel,
            plane;
 }
 
+std::uint32_t
+WeightPlacement::planeChannel(std::size_t idx) const
+{
+    return std::uint32_t(idx / (std::size_t(geometry_.diesPerChannel()) *
+                                geometry_.planes_per_die));
+}
+
 PageAddress
 WeightPlacement::allocOnPlane(std::uint32_t channel,
                               std::uint32_t die_in_channel,
@@ -37,6 +48,7 @@ WeightPlacement::allocOnPlane(std::uint32_t channel,
     CAMLLM_ASSERT(cursor < pages_per_plane_);
     ++next_page_[idx];
     ++allocated_;
+    ++programs_[idx];
 
     PageAddress a;
     a.channel = channel;
@@ -75,6 +87,29 @@ WeightPlacement::allocRcPage(std::uint32_t channel,
 PageAddress
 WeightPlacement::allocReadPage()
 {
+    if (policy_ == WearPolicy::LeastWorn) {
+        // Globally least-worn plane with free space, so read-share
+        // programs flatten the wear profile instead of following the
+        // round-robin cursor.
+        std::size_t best = planeCount();
+        for (std::size_t i = 0; i < planeCount(); ++i) {
+            if (channel_dead_[planeChannel(i)] ||
+                next_page_[i] >= pages_per_plane_)
+                continue;
+            if (best == planeCount() || planeWear(i) < planeWear(best))
+                best = i;
+        }
+        if (best == planeCount())
+            fatal("flash device is full (%llu pages)",
+                  (unsigned long long)allocated_);
+        const std::size_t per_die = geometry_.planes_per_die;
+        const std::size_t die_flat = best / per_die;
+        return allocOnPlane(
+            std::uint32_t(die_flat / geometry_.diesPerChannel()),
+            std::uint32_t(die_flat % geometry_.diesPerChannel()),
+            std::uint32_t(best % per_die));
+    }
+
     const std::uint64_t n_dies = geometry_.totalDies();
     for (std::uint64_t probe = 0; probe < n_dies; ++probe) {
         std::uint64_t d = (rr_cursor_ + probe) % n_dies;
@@ -113,6 +148,7 @@ WeightPlacement::seedStriped(std::uint64_t pages)
         CAMLLM_ASSERT(next_page_[i] + give <= pages_per_plane_,
                       "plane overflow while seeding");
         next_page_[i] += std::uint32_t(give);
+        programs_[i] += give;
     }
     allocated_ += pages;
 }
@@ -149,6 +185,9 @@ WeightPlacement::remapChannel(std::uint32_t channel)
 
     // Count the surviving planes, then fill them as evenly as their
     // free space allows (even share first, spill passes after).
+    // Under LeastWorn each pass visits the least-worn survivors
+    // first, so the rebuild's program wear lands where the profile is
+    // flattest instead of in index order.
     std::vector<std::size_t> survivors;
     for (std::uint32_t c = 0; c < geometry_.channels; ++c) {
         if (channel_dead_[c])
@@ -160,6 +199,12 @@ WeightPlacement::remapChannel(std::uint32_t channel)
 
     std::uint64_t left = moved;
     while (left > 0) {
+        if (policy_ == WearPolicy::LeastWorn) {
+            std::stable_sort(survivors.begin(), survivors.end(),
+                             [this](std::size_t a, std::size_t b) {
+                                 return planeWear(a) < planeWear(b);
+                             });
+        }
         std::uint64_t placed = 0;
         const std::uint64_t share =
             (left + survivors.size() - 1) / survivors.size();
@@ -169,6 +214,7 @@ WeightPlacement::remapChannel(std::uint32_t channel)
             const std::uint64_t free = pages_per_plane_ - next_page_[idx];
             const std::uint64_t give = std::min({free, share, left});
             next_page_[idx] += std::uint32_t(give);
+            programs_[idx] += give;
             left -= give;
             placed += give;
         }
@@ -177,6 +223,154 @@ WeightPlacement::remapChannel(std::uint32_t channel)
                   (unsigned long long)left);
     }
     return moved;
+}
+
+double
+WeightPlacement::occupancy() const
+{
+    const std::uint64_t cap = capacityPages();
+    if (cap == 0)
+        fatal("flash device has no live capacity "
+              "(every channel is offline)");
+    return double(allocated_) / double(cap);
+}
+
+std::uint64_t
+WeightPlacement::freePages() const
+{
+    const std::uint64_t cap = capacityPages();
+    if (cap == 0)
+        fatal("flash device has no live capacity "
+              "(every channel is offline)");
+    return cap - allocated_;
+}
+
+void
+WeightPlacement::seedWear(double pe_cycles, double pe_skew,
+                          double retention_hours)
+{
+    CAMLLM_ASSERT(pe_cycles >= 0.0 && retention_hours >= 0.0);
+    CAMLLM_ASSERT(pe_skew >= 0.0 && pe_skew <= 1.0,
+                  "wear skew %.2f outside [0, 1]", pe_skew);
+    const std::size_t n = base_pe_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        const double g =
+            n > 1 ? 2.0 * double(i) / double(n - 1) - 1.0 : 0.0;
+        base_pe_[i] = pe_cycles * (1.0 + pe_skew * g);
+        age_hours_[i] = retention_hours;
+    }
+}
+
+double
+WeightPlacement::planeWear(std::size_t idx) const
+{
+    return base_pe_[idx] +
+           double(programs_[idx]) / double(pages_per_plane_);
+}
+
+double
+WeightPlacement::planeFreshFraction(std::size_t idx) const
+{
+    if (next_page_[idx] == 0)
+        return 0.0;
+    return std::min(1.0, double(refreshed_[idx]) /
+                             double(next_page_[idx]));
+}
+
+void
+WeightPlacement::notePrograms(std::size_t idx, std::uint64_t n)
+{
+    CAMLLM_ASSERT(idx < programs_.size());
+    programs_[idx] += n;
+}
+
+void
+WeightPlacement::noteRefresh(std::size_t src, std::size_t dst)
+{
+    CAMLLM_ASSERT(src < planeCount() && dst < planeCount());
+    ++refreshed_[src];
+    ++programs_[dst];
+}
+
+std::size_t
+WeightPlacement::stalestPlane() const
+{
+    std::size_t best = planeCount();
+    for (std::size_t i = 0; i < planeCount(); ++i) {
+        if (channel_dead_[planeChannel(i)] || next_page_[i] == 0)
+            continue;
+        if (best == planeCount() ||
+            planeFreshFraction(i) < planeFreshFraction(best))
+            best = i;
+    }
+    return best;
+}
+
+std::size_t
+WeightPlacement::leastWornPlane() const
+{
+    std::size_t best = planeCount();
+    for (std::size_t i = 0; i < planeCount(); ++i) {
+        if (channel_dead_[planeChannel(i)])
+            continue;
+        if (best == planeCount() || planeWear(i) < planeWear(best))
+            best = i;
+    }
+    return best;
+}
+
+std::uint64_t
+WeightPlacement::totalPrograms() const
+{
+    std::uint64_t n = 0;
+    for (std::uint64_t p : programs_)
+        n += p;
+    return n;
+}
+
+double
+WeightPlacement::wearSpreadPe() const
+{
+    double lo = 0.0, hi = 0.0;
+    bool seen = false;
+    for (std::size_t i = 0; i < planeCount(); ++i) {
+        if (channel_dead_[planeChannel(i)])
+            continue;
+        const double w = planeWear(i);
+        lo = seen ? std::min(lo, w) : w;
+        hi = seen ? std::max(hi, w) : w;
+        seen = true;
+    }
+    return seen ? hi - lo : 0.0;
+}
+
+double
+WeightPlacement::wearMeanPe() const
+{
+    double sum = 0.0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < planeCount(); ++i) {
+        if (channel_dead_[planeChannel(i)])
+            continue;
+        sum += planeWear(i);
+        ++n;
+    }
+    return n > 0 ? sum / double(n) : 0.0;
+}
+
+double
+WeightPlacement::wearMaxPe() const
+{
+    double hi = 0.0;
+    bool seen = false;
+    for (std::size_t i = 0; i < planeCount(); ++i) {
+        if (channel_dead_[planeChannel(i)])
+            continue;
+        const double w = planeWear(i);
+        hi = seen ? std::max(hi, w) : w;
+        seen = true;
+    }
+    return seen ? hi : 0.0;
 }
 
 } // namespace camllm::flash

@@ -1,12 +1,20 @@
 /**
  * @file
- * Weight placement and capacity accounting.
+ * Weight placement, capacity accounting and per-plane wear state.
  *
  * Read-compute pages must live on the die whose core will multiply
  * them (plane 0 by convention); read-share pages are striped across
  * every die's plane 1 so ordinary reads can proceed while the compute
  * plane is busy. Placement is bookkeeping for capacity checks and
  * addressing tests; request timing is driven by the channel queues.
+ *
+ * Every program/erase this map performs — boot seeding, read-share
+ * allocation, dead-channel remap rebuilds, retention-refresh
+ * re-writes — increments the target plane's P/E counter, so effective
+ * wear grows where writes actually land. The fault layer reads that
+ * per-plane wear back through planeWear()/planeAge() to derive each
+ * read's uncorrectable-page probability, closing the loop between
+ * placement policy and the failure schedule.
  */
 
 #ifndef CAMLLM_FLASH_PLACEMENT_H
@@ -20,6 +28,18 @@
 
 namespace camllm::flash {
 
+/** Placement policy for programs: read-share allocation order,
+ *  remap fill order and refresh re-write targets. */
+enum class WearPolicy : std::uint8_t
+{
+    /** Legacy bump/round-robin order (wear-oblivious). */
+    Bump = 0,
+
+    /** Least-worn plane first, so program wear levels out instead of
+     *  compounding on already-hot planes. */
+    LeastWorn = 1,
+};
+
 /** Per-plane bump allocator over the whole device. */
 class WeightPlacement
 {
@@ -29,18 +49,23 @@ class WeightPlacement
     /**
      * Allocate one compute-plane page on channel @p channel, die
      * @p die_in_channel (0 .. diesPerChannel()-1). Spills to the read
-     * plane with a warning when the compute plane fills.
+     * plane with a warning when the compute plane fills. (Compute
+     * pages are die-bound by the tiling, so the wear policy does not
+     * reorder them; it governs read-share, remap and refresh
+     * programs.)
      */
     PageAddress allocRcPage(std::uint32_t channel,
                             std::uint32_t die_in_channel);
 
-    /** Allocate one read-share page, round-robin across all dies. */
+    /** Allocate one read-share page: round-robin across all dies
+     *  under Bump, globally least-worn-first under LeastWorn. */
     PageAddress allocReadPage();
 
     /**
      * Bulk-seed @p pages striped evenly across every plane — the
      * resident weight image as loaded at boot. The fault layer uses
-     * this so a dead channel knows how much data it strands.
+     * this so a dead channel knows how much data it strands. Seeding
+     * programs count toward plane wear like any other write.
      */
     void seedStriped(std::uint64_t pages);
 
@@ -50,9 +75,11 @@ class WeightPlacement
     /**
      * Channel @p channel died: retire its capacity and move its pages
      * onto the surviving channels' planes, spread as evenly as their
-     * free space allows. Returns the page count moved (the rebuild
-     * traffic the caller charges over the surviving buses). Fatal
-     * when the survivors cannot hold the strands.
+     * free space allows (least-worn survivors first under LeastWorn).
+     * Returns the page count moved (the rebuild traffic the caller
+     * charges over the surviving buses). Every re-written page
+     * programs its destination plane. Fatal when the survivors cannot
+     * hold the strands.
      */
     std::uint64_t remapChannel(std::uint32_t channel);
 
@@ -70,22 +97,81 @@ class WeightPlacement
         return geometry_.totalPages() - retired_pages_;
     }
 
-    /** Fraction of total device pages allocated. */
-    double
-    occupancy() const
-    {
-        return double(allocated_) / double(capacityPages());
-    }
+    /** Fraction of live device pages allocated. Fatal when every
+     *  channel is offline (no live capacity to divide by). */
+    double occupancy() const;
 
-    /** Remaining free pages across the device. */
-    std::uint64_t freePages() const { return capacityPages() - allocated_; }
+    /** Remaining free pages across the device. Fatal when every
+     *  channel is offline. */
+    std::uint64_t freePages() const;
 
-  private:
+    // --- per-plane wear state ------------------------------------------
     /** Flat plane index for (channel, die-in-channel, plane). */
     std::size_t planeIndex(std::uint32_t channel,
                            std::uint32_t die_in_channel,
                            std::uint32_t plane) const;
 
+    /** Total planes across the device (dead channels included). */
+    std::size_t planeCount() const { return next_page_.size(); }
+
+    /** Channel a flat plane index belongs to. */
+    std::uint32_t planeChannel(std::size_t idx) const;
+
+    void setWearPolicy(WearPolicy p) { policy_ = p; }
+    WearPolicy wearPolicy() const { return policy_; }
+
+    /**
+     * Seed per-plane wear: base P/E cycles with an optional linear
+     * gradient (plane i's base spans pe_cycles * [1-skew, 1+skew]
+     * across the flat plane order) plus the resident image's
+     * retention age. Skew models a device whose planes did not wear
+     * uniformly before this run — the starting point wear leveling
+     * has to work against.
+     */
+    void seedWear(double pe_cycles, double pe_skew,
+                  double retention_hours);
+
+    /** Effective P/E cycles of one plane: seeded base plus programs
+     *  performed this run, amortized over the plane's page count. */
+    double planeWear(std::size_t idx) const;
+
+    /** Retention age (hours) of the plane's resident data as seeded;
+     *  refresh re-writes lower the *effective* age through
+     *  planeFreshFraction() instead of rewinding this value. */
+    double planeAge(std::size_t idx) const { return age_hours_[idx]; }
+
+    /** Fraction of the plane's resident pages the scrubber has
+     *  re-written this run, in [0, 1] (0 when nothing is resident). */
+    double planeFreshFraction(std::size_t idx) const;
+
+    /** Record @p n programs landing on plane @p idx. */
+    void notePrograms(std::size_t idx, std::uint64_t n);
+
+    /** Account one scrubbed page: plane @p src had a resident page
+     *  re-read and re-written onto plane @p dst (where the program
+     *  wear lands). */
+    void noteRefresh(std::size_t src, std::size_t dst);
+
+    /** Alive plane holding data with the lowest refreshed fraction —
+     *  the scrubber's next target. Ties break on the lower index, so
+     *  equal-age planes are swept in order. Returns planeCount() when
+     *  no alive plane holds data. */
+    std::size_t stalestPlane() const;
+
+    /** Alive plane with the lowest effective wear (ties on the lower
+     *  index). Returns planeCount() when every channel is dead. */
+    std::size_t leastWornPlane() const;
+
+    /** Programs performed this run, summed over every plane. */
+    std::uint64_t totalPrograms() const;
+
+    /** max - min effective P/E over alive planes (the wear-leveling
+     *  figure of merit). */
+    double wearSpreadPe() const;
+    double wearMeanPe() const;
+    double wearMaxPe() const;
+
+  private:
     PageAddress allocOnPlane(std::uint32_t channel,
                              std::uint32_t die_in_channel,
                              std::uint32_t plane);
@@ -97,6 +183,12 @@ class WeightPlacement
     std::uint64_t rr_cursor_ = 0;
     std::uint64_t retired_pages_ = 0;
     std::uint32_t pages_per_plane_;
+
+    WearPolicy policy_ = WearPolicy::Bump;
+    std::vector<std::uint64_t> programs_;  ///< programs this run
+    std::vector<std::uint64_t> refreshed_; ///< pages scrubbed, per src
+    std::vector<double> base_pe_;          ///< seeded lifetime wear
+    std::vector<double> age_hours_;        ///< seeded retention age
 };
 
 } // namespace camllm::flash

@@ -39,10 +39,18 @@ enum class WorkClass : std::uint8_t
      *  re-transferred after each escalated re-read, and those extra
      *  bus bytes are billed here so fault overhead never pollutes the
      *  Prefill/Decode/Recompute accounting. */
-    Retry = 3
+    Retry = 3,
+
+    /** Retention-refresh scrub traffic: the background scrubber's
+     *  re-reads of the oldest-resident pages (and their re-writes,
+     *  charged directly to the channel bus) compete with serving
+     *  reads through the same channel queues; billing them here keeps
+     *  the serving classes honest while making the refresh bandwidth
+     *  bill visible. */
+    Refresh = 4
 };
 
-inline constexpr std::size_t kWorkClasses = 4;
+inline constexpr std::size_t kWorkClasses = 5;
 
 /**
  * One atomic tile of a read-compute request, i.e.\ the single weight

@@ -9,10 +9,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 
 #include "common/rng.h"
+#include "core/arrivals.h"
 #include "core/engine.h"
+#include "core/fleet.h"
 #include "core/sweep.h"
 #include "json_out.h"
 #include "core/presets.h"
@@ -199,6 +202,61 @@ BM_TinyTransformerForward(benchmark::State &state)
 }
 BENCHMARK(BM_TinyTransformerForward);
 
+/**
+ * Sparse serving-shaped calendar load: request arrivals separated by
+ * multi-second Poisson idle gaps (mean 2 simulated seconds, i.e. ~2e9
+ * ticks of nothing), each arrival firing a chain of densely packed
+ * events (~500-tick exponential gaps). A flat bucketed calendar walks
+ * every empty bucket across the idle gaps; the hierarchical wheel
+ * cascades through them in O(levels).
+ */
+struct GapWorkload
+{
+    static constexpr int kArrivals = 5000;
+    static constexpr int kChainLen = 40;
+    static constexpr std::uint64_t kTotalEvents =
+        std::uint64_t(kArrivals) * (1 + kChainLen);
+
+    EventQueue eq;
+    Rng rng{42};
+
+    Tick expGap(double mean)
+    {
+        return Tick(-std::log(1.0 - rng.uniform()) * mean) + 1;
+    }
+
+    void link(int remaining)
+    {
+        if (remaining > 0)
+            eq.scheduleIn(expGap(500.0),
+                          [this, remaining] { link(remaining - 1); });
+    }
+
+    void run()
+    {
+        eq.reserve(kArrivals);
+        Tick t = 0;
+        for (int i = 0; i < kArrivals; ++i) {
+            t += expGap(2.0e9);
+            eq.schedule(t, [this] { link(kChainLen); });
+        }
+        eq.run();
+    }
+};
+
+void
+BM_EventQueueArrivalGaps(benchmark::State &state)
+{
+    for (auto _ : state) {
+        GapWorkload w;
+        w.run();
+        benchmark::DoNotOptimize(w.eq.executed());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            GapWorkload::kTotalEvents);
+}
+BENCHMARK(BM_EventQueueArrivalGaps);
+
 /** Best-of-@p reps wall time of one call to @p fn, in seconds. */
 template <typename Fn>
 double
@@ -240,6 +298,42 @@ emitJson(double bench_wall_s)
         });
         j.add("event_queue.events", std::uint64_t(kEvents));
         j.add("event_queue.events_per_s", double(kEvents) / s);
+    }
+    {
+        // Arrival-gap shape: the hierarchical calendar's headline
+        // case (multi-second idle gaps between dense event chains).
+        const double s = bestSeconds(3, [] {
+            GapWorkload w;
+            w.run();
+            if (w.eq.executed() != GapWorkload::kTotalEvents)
+                std::fprintf(stderr, "gap workload event mismatch\n");
+            benchmark::DoNotOptimize(w.eq.executed());
+        });
+        j.add("event_queue.gap_events", GapWorkload::kTotalEvents);
+        j.add("event_queue.gap_events_per_s",
+              double(GapWorkload::kTotalEvents) / s);
+    }
+    {
+        // Fleet-scale events/sec: N independent serving replicas on
+        // the worker pool (deterministic sim results, host-timed
+        // throughput). Sized to stay inside the CI smoke budget —
+        // per-event cost, not run length, is what the key tracks.
+        const core::Scheduler sched(core::presetS(), llm::opt6_7b());
+        core::SchedOptions opt;
+        opt.max_batch = 4;
+        const core::FleetSweep fleet;
+        const core::FleetStats fs =
+            fleet.run(4, 2024, [&](std::size_t, std::uint64_t seed) {
+                return sched.serve(
+                    core::ArrivalTrace::poisson(500.0, 4, seed,
+                                                {{32, 2}, {48, 2}}),
+                    opt);
+            });
+        j.add("fleet.replicas", std::uint64_t(fs.replicas));
+        j.add("fleet.threads", std::uint64_t(fleet.threads()));
+        j.add("fleet.sim_events", fs.sim_events);
+        j.add("fleet.events_per_s", fs.events_per_s);
+        j.add("fleet.goodput_tokens_per_s", fs.goodput_tokens_per_s);
     }
     {
         constexpr std::uint32_t d = 512;

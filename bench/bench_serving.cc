@@ -46,8 +46,17 @@
  *
  * Emits BENCH_serving.json.
  *
+ *  7. A fleet sweep (`--fleet-sweep` for just this section; full runs
+ *     only, skipped in --smoke): N independent device replicas, each
+ *     serving its own seeded Poisson trace, run across the worker
+ *     pool by FleetSweep and merged index-ordered (`fleet_sweep.*`
+ *     keys). Self-checks that the merged result is bit-identical on
+ *     one worker thread vs the full pool and that each replica's
+ *     result is independent of the fleet size.
+ *
  * Usage: bench_serving [--smoke] [--arrivals] [--kv-sweep]
  *                      [--fault-sweep] [--reliability-sweep]
+ *                      [--fleet-sweep]
  *   --smoke       CI subset: batches {1,4}, contended batch 4, the
  *                 SLO smoke scenario, one KV budget point, one fault
  *                 point and one reliability point.
@@ -55,6 +64,7 @@
  *   --kv-sweep    KV capacity sweep only.
  *   --fault-sweep fault sweep only.
  *   --reliability-sweep reliability co-design sweep only.
+ *   --fleet-sweep fleet sweep only.
  */
 
 #include <array>
@@ -68,6 +78,7 @@
 #include "core/area_model.h"
 #include "core/arrivals.h"
 #include "core/batch_engine.h"
+#include "core/fleet.h"
 #include "core/scheduler.h"
 #include "core/sweep.h"
 #include "flash/params.h"
@@ -152,7 +163,7 @@ int
 main(int argc, char **argv)
 {
     bool smoke = false, arrivals_only = false, kv_only = false,
-         fault_only = false, rel_only = false;
+         fault_only = false, rel_only = false, fleet_only = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--smoke") == 0)
             smoke = true;
@@ -164,6 +175,8 @@ main(int argc, char **argv)
             fault_only = true;
         else if (std::strcmp(argv[i], "--reliability-sweep") == 0)
             rel_only = true;
+        else if (std::strcmp(argv[i], "--fleet-sweep") == 0)
+            fleet_only = true;
     }
     const auto wall0 = std::chrono::steady_clock::now();
     bench::banner("serving: continuous batching, NPU contention, "
@@ -179,7 +192,8 @@ main(int argc, char **argv)
     json.addString("preset", cfg.name);
     json.addString("model", model.name);
 
-    if (!arrivals_only && !kv_only && !fault_only && !rel_only) {
+    if (!arrivals_only && !kv_only && !fault_only && !rel_only &&
+        !fleet_only) {
         const std::vector<core::RequestSpec> reqs =
             mixedWorkload(smoke ? 8 : 16, 1);
         const std::vector<std::uint32_t> batches =
@@ -334,7 +348,7 @@ main(int argc, char **argv)
         return sched.serve(trace, opt);
     };
 
-    if (!kv_only && !fault_only && !rel_only) {
+    if (!kv_only && !fault_only && !rel_only && !fleet_only) {
         const auto pair = sweep.map<core::ServeStats>(
             2, [&](std::size_t i) {
                 return i == 0
@@ -358,7 +372,8 @@ main(int argc, char **argv)
         addSlo(json, "slo_smoke.chunked256", pair[1]);
     }
 
-    if (!smoke && !kv_only && !fault_only && !rel_only) {
+    if (!smoke && !kv_only && !fault_only && !rel_only &&
+        !fleet_only) {
         // Arrival-rate sweep: the capacity-planning view. Indices map
         // to (rate x policy) pairs; results stay deterministic and
         // index-ordered under the sweep pool.
@@ -427,7 +442,7 @@ main(int argc, char **argv)
     // that the scheduler queues admissions, preempts the
     // latest-arrived running request and recomputes evicted KV. The
     // 50% point runs identically in --smoke so CI diffs its keys.
-    if (!fault_only && !rel_only) {
+    if (!fault_only && !rel_only && !fleet_only) {
         const std::uint32_t block_tokens = 64;
         const core::ArrivalTrace kv_trace =
             core::ArrivalTrace::poisson(0.5, 6, 13, shapes);
@@ -518,7 +533,7 @@ main(int argc, char **argv)
     // self-check the zero-fault point bit-identical against a serve
     // with no resilience knob armed and goodput/TTFT monotone along
     // the fault-rate axis.
-    if (!kv_only && !rel_only) {
+    if (!kv_only && !rel_only && !fleet_only) {
         struct UcpPoint
         {
             const char *label;
@@ -688,7 +703,8 @@ main(int argc, char **argv)
     // serving traffic on the channel buses). The bump/ECC-32/fastest-
     // refresh corner runs identically in --smoke so CI diffs its
     // keys.
-    if (rel_only || (!arrivals_only && !kv_only && !fault_only)) {
+    if (rel_only ||
+        (!arrivals_only && !kv_only && !fault_only && !fleet_only)) {
         struct EccPoint
         {
             const char *label;
@@ -911,6 +927,106 @@ main(int argc, char **argv)
             json.add("reliability_sweep.inert_knobs_bit_exact",
                      std::uint64_t(bit_exact ? 1 : 0));
         }
+    }
+
+    // --- fleet sweep ----------------------------------------------------
+    // N independent device replicas (Sangam-style scale-out view),
+    // each serving its own seeded Poisson trace under the chunked SLO
+    // config, run across the worker pool and merged index-ordered.
+    // Full runs only: each replica is a full 70B co-simulation.
+    if (fleet_only ||
+        (!smoke && !arrivals_only && !kv_only && !fault_only &&
+         !rel_only)) {
+        const std::size_t replicas = 4;
+        const std::uint64_t fleet_seed = 23;
+        const auto replica = [&](std::size_t, std::uint64_t seed) {
+            const core::ArrivalTrace trace =
+                core::ArrivalTrace::poisson(0.5, 6, seed, shapes);
+            return serveTrace(trace,
+                              core::SchedPolicy::ChunkedInterleave,
+                              256u, 4);
+        };
+        const core::FleetSweep fleet;
+        const core::FleetStats fs =
+            fleet.run(replicas, fleet_seed, replica);
+
+        Table t("Fleet sweep (" + std::to_string(replicas) +
+                " replicas x 6 Poisson arrivals @ 0.5 req/s, "
+                "chunked 256, batch 4)");
+        t.header({"replica", "seed", "tok", "goodput tok/s",
+                  "TTFT p99", "makespan ms", "events"});
+        for (std::size_t i = 0; i < fs.replicas; ++i) {
+            const core::ServeStats &s = fs.replica_stats[i];
+            t.row({Table::fmtInt(std::uint32_t(i)),
+                   std::to_string(
+                       core::FleetSweep::replicaSeed(fleet_seed, i) &
+                       0xffff),
+                   Table::fmtInt(std::uint32_t(s.total_tokens)),
+                   Table::fmt(s.goodput_tokens_per_s, 4),
+                   Table::fmt(s.ttft.p99_ms, 0),
+                   Table::fmt(double(s.sim_makespan) / 1e6, 1),
+                   Table::fmtInt(std::uint32_t(s.sim_events))});
+        }
+        t.row({"fleet", "-",
+               Table::fmtInt(std::uint32_t(fs.total_tokens)),
+               Table::fmt(fs.goodput_tokens_per_s, 4),
+               Table::fmt(fs.ttft.p99_ms, 0),
+               Table::fmt(double(fs.sim_makespan_max) / 1e6, 1),
+               Table::fmtInt(std::uint32_t(fs.sim_events))});
+        t.print(std::cout);
+
+        json.add("fleet_sweep.replicas", std::uint64_t(fs.replicas));
+        json.add("fleet_sweep.threads",
+                 std::uint64_t(fleet.threads()));
+        json.add("fleet_sweep.requests", std::uint64_t(fs.requests));
+        json.add("fleet_sweep.completed", fs.completed);
+        json.add("fleet_sweep.total_tokens", fs.total_tokens);
+        json.add("fleet_sweep.goodput_tokens_per_s",
+                 fs.goodput_tokens_per_s);
+        json.add("fleet_sweep.sim_events", fs.sim_events);
+        json.add("fleet_sweep.sim_makespan_max_ms",
+                 double(fs.sim_makespan_max) / 1e6);
+        json.add("fleet_sweep.events_per_s", fs.events_per_s);
+        json.add("fleet_sweep.ttft.p50_ms", fs.ttft.p50_ms);
+        json.add("fleet_sweep.ttft.p95_ms", fs.ttft.p95_ms);
+        json.add("fleet_sweep.ttft.p99_ms", fs.ttft.p99_ms);
+
+        // Self-check 1: one worker thread vs the full pool must merge
+        // bit-identically (seeding + index-ordered reduction).
+        const core::FleetStats ref =
+            core::FleetSweep(1).run(replicas, fleet_seed, replica);
+        const bool deterministic =
+            ref.total_tokens == fs.total_tokens &&
+            ref.sim_events == fs.sim_events &&
+            ref.sim_makespan_max == fs.sim_makespan_max &&
+            ref.goodput_tokens_per_s == fs.goodput_tokens_per_s &&
+            ref.ttft.p99_ms == fs.ttft.p99_ms;
+        std::cout << "fleet merge bit-identical across thread "
+                     "counts: "
+                  << (deterministic ? "yes" : "NO") << "\n";
+        json.add("fleet_sweep.deterministic",
+                 std::uint64_t(deterministic ? 1 : 0));
+
+        // Self-check 2: a replica's result is a pure function of
+        // (base seed, index) — shrinking the fleet must not perturb
+        // the replicas that remain.
+        const core::FleetStats half =
+            core::FleetSweep(1).run(replicas / 2, fleet_seed,
+                                    replica);
+        bool prefix_ok = true;
+        for (std::size_t i = 0; i < replicas / 2; ++i)
+            prefix_ok =
+                prefix_ok &&
+                half.replica_stats[i].sim_events ==
+                    fs.replica_stats[i].sim_events &&
+                half.replica_stats[i].sim_makespan ==
+                    fs.replica_stats[i].sim_makespan &&
+                half.replica_stats[i].total_tokens ==
+                    fs.replica_stats[i].total_tokens;
+        std::cout << "replica results independent of fleet size: "
+                  << (prefix_ok ? "yes" : "NO") << "\n";
+        json.add("fleet_sweep.replica_prefix_independent",
+                 std::uint64_t(prefix_ok ? 1 : 0));
     }
 
     json.add("wall_clock_s",

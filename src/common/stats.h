@@ -23,7 +23,12 @@ class Accumulator
     {
         ++count_;
         sum_ += v;
-        sum_sq_ += v * v;
+        // Welford's online update: numerically stable for samples with
+        // a large common offset (e.g. tick timestamps), where the
+        // textbook sum-of-squares form cancels catastrophically.
+        const double delta = v - mean_;
+        mean_ += delta / double(count_);
+        m2_ += delta * (v - mean_);
         min_ = std::min(min_, v);
         max_ = std::max(max_, v);
     }
@@ -38,15 +43,14 @@ class Accumulator
     double sum() const { return sum_; }
     double min() const { return count_ ? min_ : 0.0; }
     double max() const { return count_ ? max_ : 0.0; }
-    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
 
     double
     variance() const
     {
         if (count_ < 2)
             return 0.0;
-        double m = mean();
-        double v = (sum_sq_ - double(count_) * m * m) / double(count_ - 1);
+        double v = m2_ / double(count_ - 1);
         return v > 0.0 ? v : 0.0;
     }
 
@@ -55,7 +59,8 @@ class Accumulator
   private:
     std::uint64_t count_ = 0;
     double sum_ = 0.0;
-    double sum_sq_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0; ///< sum of squared deviations from the mean
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };

@@ -1,0 +1,44 @@
+#include "core/fleet.h"
+
+#include "common/stats.h"
+
+namespace camllm::core {
+
+FleetStats
+FleetSweep::merge(std::vector<ServeStats> replica_stats)
+{
+    FleetStats out;
+    out.replicas = replica_stats.size();
+
+    // Merge TTFT as one pooled sample set across the fleet: averaging
+    // per-replica percentiles would understate the tail, and pooled
+    // nearest-rank percentiles stay bit-identical for any thread
+    // count because the samples are visited in (replica, request)
+    // index order.
+    SampleSet ttft_ms;
+    for (const ServeStats &s : replica_stats) {
+        out.requests += s.requests.size();
+        out.admitted += s.admitted;
+        out.completed += s.completed;
+        out.total_tokens += s.total_tokens;
+        out.sim_events += s.sim_events;
+        out.sim_makespan_max = std::max(out.sim_makespan_max,
+                                        s.sim_makespan);
+        out.goodput_tokens_per_s += s.goodput_tokens_per_s;
+        out.finite_run_tokens_per_s += s.finite_run_tokens_per_s;
+        for (const ServeRequestStats &r : s.requests)
+            if (r.tokens_emitted > 0)
+                ttft_ms.add(r.ttft_ms);
+    }
+    out.ttft.n = ttft_ms.count();
+    out.ttft.p50_ms = ttft_ms.percentile(50.0);
+    out.ttft.p95_ms = ttft_ms.percentile(95.0);
+    out.ttft.p99_ms = ttft_ms.percentile(99.0);
+    out.ttft.mean_ms = ttft_ms.mean();
+    out.ttft.max_ms = ttft_ms.max();
+
+    out.replica_stats = std::move(replica_stats);
+    return out;
+}
+
+} // namespace camllm::core

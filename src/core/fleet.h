@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Deterministic cross-replica fleet simulation.
+ *
+ * Scale-out studies (WaferLLM/Sangam-class deployments) model a fleet
+ * of independent devices, each running its own serving simulation.
+ * Replicas share nothing — every one builds its own engine and event
+ * queue — so they are embarrassingly parallel, and FleetSweep runs
+ * them on the ParallelSweep worker pool with two guarantees that keep
+ * fleet results bit-reproducible:
+ *
+ *  - seeding: each replica derives its RNG seed from (base seed,
+ *    replica index) via replicaSeed(), so replica i's workload is a
+ *    pure function of i no matter which worker thread runs it or how
+ *    many threads exist;
+ *  - merging: per-replica ServeStats are collected index-ordered and
+ *    reduced in index order, so every merged number (sums, maxima,
+ *    merged latency percentiles) is identical across thread counts.
+ *
+ * The only intentionally non-deterministic outputs are the host
+ * wall-clock fields (wall_s, events_per_s) used for events/sec
+ * reporting at fleet scale.
+ */
+
+#ifndef CAMLLM_CORE_FLEET_H
+#define CAMLLM_CORE_FLEET_H
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/hash.h"
+#include "core/scheduler.h"
+#include "core/sweep.h"
+
+namespace camllm::core {
+
+/** Merged results of one fleet run (N independent replicas). */
+struct FleetStats
+{
+    std::size_t replicas = 0;
+
+    /** Per-replica results, index == replica id. */
+    std::vector<ServeStats> replica_stats;
+
+    // --- deterministic reductions over the replicas --------------------
+    std::size_t requests = 0;       ///< submitted across the fleet
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t total_tokens = 0;
+    std::uint64_t sim_events = 0;   ///< kernel events across the fleet
+
+    /** Longest replica makespan — fleet wall time in sim ticks when
+     *  all replicas start together. */
+    Tick sim_makespan_max = 0;
+
+    /** Fleet-aggregate throughput: per-replica rates summed (replicas
+     *  are independent devices running concurrently). */
+    double goodput_tokens_per_s = 0.0;
+    double finite_run_tokens_per_s = 0.0;
+
+    /** TTFT distribution over every first-token-emitting request in
+     *  the fleet (merged samples, not averaged percentiles). */
+    LatencySummary ttft;
+
+    // --- host-side measurement (not deterministic) ---------------------
+    double wall_s = 0.0;       ///< host seconds for the whole fleet run
+    double events_per_s = 0.0; ///< sim_events / wall_s
+};
+
+/** Deterministic fleet runner over the ParallelSweep worker pool. */
+class FleetSweep
+{
+  public:
+    /** @param threads worker count; 0 selects
+     *  ParallelSweep::hardwareThreads() (CAMLLM_SWEEP_THREADS). */
+    explicit FleetSweep(unsigned threads = 0) : sweep_(threads) {}
+
+    unsigned threads() const { return sweep_.threads(); }
+
+    /**
+     * RNG seed of replica @p replica under @p base_seed. A pure
+     * function of its inputs — the contract that makes fleet results
+     * independent of worker scheduling — with distinct, well-mixed
+     * values per replica so per-replica workloads are uncorrelated.
+     */
+    static std::uint64_t
+    replicaSeed(std::uint64_t base_seed, std::size_t replica)
+    {
+        return hashCombine(base_seed, std::uint64_t(replica));
+    }
+
+    /**
+     * Run fn(replica, seed) for every replica in [0, n) across the
+     * worker pool and merge the results. @p fn must be thread-safe
+     * and must derive all randomness from @p seed (it receives
+     * replicaSeed(base_seed, replica)).
+     */
+    template <typename Fn>
+    FleetStats
+    run(std::size_t n, std::uint64_t base_seed, Fn &&fn) const
+    {
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<ServeStats> reps =
+            sweep_.map<ServeStats>(n, [&](std::size_t i) {
+                return fn(i, replicaSeed(base_seed, i));
+            });
+        FleetStats out = merge(std::move(reps));
+        out.wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        out.events_per_s =
+            out.wall_s > 0.0 ? double(out.sim_events) / out.wall_s : 0.0;
+        return out;
+    }
+
+    /**
+     * Index-ordered reduction of per-replica results (exposed for
+     * merge-math tests). Leaves wall_s / events_per_s zero.
+     */
+    static FleetStats merge(std::vector<ServeStats> replica_stats);
+
+  private:
+    ParallelSweep sweep_;
+};
+
+} // namespace camllm::core
+
+#endif // CAMLLM_CORE_FLEET_H

@@ -715,6 +715,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     ServeStats out;
     out.max_batch = opt.max_batch;
     out.sim_makespan = timeline_clean ? eq.now() : horizon;
+    out.sim_events = eq.executed();
     out.requests.reserve(runs.size());
 
     Tick sim_sum = 0, ext_sum = 0;
@@ -841,6 +842,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     out.reissued_jobs = fs.reissuedJobs();
     out.refresh_pages = fs.refreshPages();
     out.refresh_channel_bytes = fs.refreshChannelBytes();
+    out.refresh_deferred_beats = fs.refreshDeferredBeats();
     out.wear_spread_pe = fs.wearSpreadPe();
     out.wear_mean_pe = fs.wearMeanPe();
     out.wear_max_pe = fs.wearMaxPe();

@@ -241,6 +241,10 @@ struct ServeStats
     Tick sim_makespan = 0;
     double extrapolation_factor = 1.0;
 
+    /** Kernel events executed by the run's event queue — the
+     *  denominator for events/sec reporting at fleet scale. */
+    std::uint64_t sim_events = 0;
+
     /** Same definitions as BatchStats (PR 2): steady-state and
      *  whole-finite-run decode throughput. */
     double aggregate_tokens_per_s = 0.0;
@@ -299,6 +303,9 @@ struct ServeStats
     // --- reliability co-design (zero unless the spec arms it) ----------
     std::uint64_t refresh_pages = 0;         ///< pages scrubbed
     std::uint64_t refresh_channel_bytes = 0; ///< scrub read+write I/O
+    /** Scrub beats the closed-loop scrubber deferred because the
+     *  previous op was still in flight (rate above capacity). */
+    std::uint64_t refresh_deferred_beats = 0;
     double wear_spread_pe = 0.0; ///< max-min per-plane effective P/E
     double wear_mean_pe = 0.0;
     double wear_max_pe = 0.0;

@@ -247,9 +247,11 @@ FlashSystem::startRefresh(double pages_per_s)
 /**
  * One scrub beat: re-read one page of the stalest alive plane through
  * the normal channel queue (WorkClass::Refresh), then re-write it on
- * delivery. The beat self-reschedules at a fixed cadence so the scrub
- * rate holds regardless of queue depth — which is exactly how it
- * competes with serving reads for channel time.
+ * delivery. The beat self-reschedules at a fixed cadence, but is
+ * closed-loop: while the previous scrub op (read + write-back) is
+ * still in flight the beat defers instead of issuing, so a rate above
+ * die/bus capacity degrades to "scrub as fast as the hardware allows"
+ * rather than growing the channel queues without bound.
  */
 void
 FlashSystem::refreshTick()
@@ -257,6 +259,11 @@ FlashSystem::refreshTick()
     if (refresh_stopped_)
         return;
     eq_.scheduleIn(refresh_interval_, [this] { refreshTick(); });
+
+    if (refresh_inflight_ >= kMaxRefreshInFlight) {
+        ++refresh_deferred_beats_;
+        return;
+    }
 
     const std::size_t src = placement_->stalestPlane();
     if (src == placement_->planeCount())
@@ -268,6 +275,7 @@ FlashSystem::refreshTick()
     j.bytes = params_.geometry.page_bytes;
     j.sliced = true;
     refresh_src_.emplace(j.op_id, src);
+    ++refresh_inflight_;
     submitRead(placement_->planeChannel(src), j);
 }
 
@@ -305,6 +313,10 @@ FlashSystem::onRefreshCompletion(const Completion &c)
                                  [this, src, dst] {
                                      placement_->noteRefresh(src, dst);
                                      ++refresh_pages_;
+                                     // Write-back landed: the scrub op
+                                     // is complete and the next beat
+                                     // may issue again.
+                                     --refresh_inflight_;
                                  },
                                  "refresh-write");
 }

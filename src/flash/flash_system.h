@@ -134,6 +134,14 @@ class FlashSystem
     /** Scrub re-write bytes charged to the channel buses. */
     std::uint64_t refreshWriteBytes() const { return refresh_write_bytes_; }
 
+    /** Scrub beats skipped because the previous scrub op was still in
+     *  flight — nonzero means the configured rate exceeds what the
+     *  dies/buses can absorb and the scrubber is self-throttling. */
+    std::uint64_t refreshDeferredBeats() const
+    {
+        return refresh_deferred_beats_;
+    }
+
     /** Total scrub bus traffic: re-read payload plus re-writes. */
     std::uint64_t
     refreshChannelBytes() const
@@ -182,6 +190,11 @@ class FlashSystem
     std::uint64_t remap_bytes_ = 0;
     std::uint64_t reissued_jobs_ = 0;
 
+    /** Outstanding-scrub cap making the beat closed-loop: a beat that
+     *  fires while this many ops are still in flight defers instead
+     *  of stacking more work onto a saturated die/bus. */
+    static constexpr std::uint64_t kMaxRefreshInFlight = 1;
+
     ClientId refresh_client_ = 0;
     bool refresh_armed_ = false;
     bool refresh_stopped_ = false;
@@ -189,6 +202,8 @@ class FlashSystem
     std::uint64_t refresh_seq_ = 0;
     std::uint64_t refresh_pages_ = 0;
     std::uint64_t refresh_write_bytes_ = 0;
+    std::uint64_t refresh_inflight_ = 0;
+    std::uint64_t refresh_deferred_beats_ = 0;
     std::unordered_map<std::uint64_t, std::size_t> refresh_src_;
 };
 

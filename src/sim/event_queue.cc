@@ -1,6 +1,8 @@
 #include "event_queue.h"
 
 #include <algorithm>
+#include <bit>
+#include <cerrno>
 #include <cstdlib>
 
 #include "common/logging.h"
@@ -29,16 +31,50 @@ roundUpPow2Clamped(std::size_t n, std::size_t lo, std::size_t hi)
     return p;
 }
 
+/**
+ * Ring-scan an occupancy bitmap: visit @p count slots of the
+ * @p size-slot ring (size a power of two) starting at @p start and
+ * return the offset of the first occupied one, or @p count if none.
+ */
+std::size_t
+scanOccupied(const std::uint64_t *occ, std::size_t size,
+             std::size_t start, std::size_t count)
+{
+    std::size_t off = 0;
+    while (off < count) {
+        const std::size_t idx = (start + off) & (size - 1);
+        const unsigned bit = idx & 63;
+        // Stop each stride at the word edge and at the ring edge so
+        // shifted-out low bits and wrapped slots are never misread.
+        const std::size_t stride = std::min(
+            count - off, std::min<std::size_t>(64 - bit, size - idx));
+        const std::uint64_t word = occ[idx >> 6] >> bit;
+        if (word != 0) {
+            const std::size_t tz = std::size_t(std::countr_zero(word));
+            if (tz < stride)
+                return off + tz;
+        }
+        off += stride;
+    }
+    return count;
+}
+
 } // namespace
 
 std::size_t
 EventQueue::defaultWindow()
 {
     if (const char *env = std::getenv("CAMLLM_EQ_WINDOW")) {
-        const long n = std::strtol(env, nullptr, 10);
-        if (n >= 1)
+        char *end = nullptr;
+        errno = 0;
+        const long n = std::strtol(env, &end, 10);
+        // Insist on a fully-consumed plain decimal count: "1024abc"
+        // and "1e6" are configuration mistakes, not window widths.
+        if (end != env && *end == '\0' && errno != ERANGE && n >= 1)
             return std::size_t(n);
-        warn("ignoring CAMLLM_EQ_WINDOW='%s' (want ticks >= 1)", env);
+        warn("ignoring CAMLLM_EQ_WINDOW='%s' (want a plain base-10 "
+             "tick count >= 1)",
+             env);
     }
     return kDefaultWindow;
 }
@@ -49,6 +85,11 @@ EventQueue::EventQueue(std::size_t window_ticks)
                                   kMinWindow, kMaxWindow))
 {
     bucket_mask_ = Tick(buckets_.size() - 1);
+    occ0_.assign((buckets_.size() + 63) / 64, 0);
+    const unsigned window_log2 =
+        unsigned(std::countr_zero(buckets_.size()));
+    for (unsigned k = 0; k < kUpperLevels; ++k)
+        wheels_[k].shift = window_log2 + 10 * k; // kUpperSlots == 2^10
     heap_.reserve(buckets_.size());
     addChunk();
 }
@@ -60,6 +101,11 @@ EventQueue::~EventQueue()
         for (Event *ev = b.head; ev != nullptr; ev = ev->next)
             if (ev->destroy)
                 ev->destroy(ev->storage);
+    for (Wheel &w : wheels_)
+        for (Bucket &b : w.slots)
+            for (Event *ev = b.head; ev != nullptr; ev = ev->next)
+                if (ev->destroy)
+                    ev->destroy(ev->storage);
     for (FarEvent &fe : heap_)
         if (fe.ev->destroy)
             fe.ev->destroy(fe.ev->storage);
@@ -116,15 +162,34 @@ EventQueue::appendToBucket(Bucket &b, Event *ev)
 void
 EventQueue::enqueue(Event *ev)
 {
-    if (ev->when < cal_base_ + buckets_.size()) {
-        appendToBucket(buckets_[ev->when & bucket_mask_], ev);
+    const Tick when = ev->when;
+    // Level = highest digit differing from the anchor (see header).
+    // The anchor never crosses a block boundary without draining the
+    // covering slot first, so for a fixed tick this level is monotone
+    // non-increasing over time — a newer event can never land below
+    // an older same-tick one, which keeps same-tick FIFO order exact.
+    if ((when >> wheels_[0].shift) == (cal_base_ >> wheels_[0].shift)) {
+        const std::size_t idx = std::size_t(when & bucket_mask_);
+        appendToBucket(buckets_[idx], ev);
+        occ0_[idx >> 6] |= std::uint64_t(1) << (idx & 63);
         ++cal_count_;
-        if (ev->when < cal_scan_)
-            cal_scan_ = ev->when;
-    } else {
-        heap_.push_back(FarEvent{ev->when, ev->seq, ev});
-        std::push_heap(heap_.begin(), heap_.end(), farLater);
+        if (when < cal_scan_)
+            cal_scan_ = when;
+        return;
     }
+    for (Wheel &w : wheels_) {
+        if ((when >> (w.shift + 10)) == (cal_base_ >> (w.shift + 10))) {
+            const std::size_t idx =
+                std::size_t(when >> w.shift) & (kUpperSlots - 1);
+            appendToBucket(w.slots[idx], ev);
+            w.occ[idx >> 6] |= std::uint64_t(1) << (idx & 63);
+            ++w.count;
+            ++wheel_count_;
+            return;
+        }
+    }
+    heap_.push_back(FarEvent{when, ev->seq, ev});
+    std::push_heap(heap_.begin(), heap_.end(), farLater);
 }
 
 void
@@ -138,48 +203,111 @@ EventQueue::release(Event *ev)
 }
 
 void
-EventQueue::advanceWindow(Tick new_base)
+EventQueue::migrateFromHeap()
 {
-    CAMLLM_ASSERT(cal_count_ == 0 && new_base >= cal_base_);
-    cal_base_ = new_base;
-    cal_scan_ = new_base;
+    CAMLLM_ASSERT(cal_count_ == 0 && wheel_count_ == 0 &&
+                  !heap_.empty());
+    const Tick top = heap_.front().when;
+    CAMLLM_ASSERT(top >= now_);
+    cal_base_ = top & ~bucket_mask_;
+    cal_scan_ = top;
     // Heap pops arrive in (when, seq) order, so FIFO appends keep the
-    // same-tick sequence ordering intact.
-    while (!heap_.empty() &&
-           heap_.front().when < cal_base_ + buckets_.size()) {
+    // same-tick sequence ordering intact. Everything inside the new
+    // top-wheel block moves now, so the heap afterwards holds only
+    // events in later blocks — which keeps wheels-before-heap a
+    // total order in time.
+    const unsigned top_shift = wheels_[kUpperLevels - 1].shift + 10;
+    while (!heap_.empty() && (heap_.front().when >> top_shift) ==
+                                 (cal_base_ >> top_shift)) {
         std::pop_heap(heap_.begin(), heap_.end(), farLater);
         Event *ev = heap_.back().ev;
         heap_.pop_back();
-        appendToBucket(buckets_[ev->when & bucket_mask_], ev);
-        ++cal_count_;
+        enqueue(ev);
     }
 }
 
 Tick
-EventQueue::peekEarliestTick()
+EventQueue::peekEarliestTick(Tick commit_limit)
 {
-    if (cal_count_ == 0) {
+    for (;;) {
+        if (cal_count_ > 0) {
+            const Tick from = std::max(cal_scan_, now_);
+            const Tick end = cal_base_ + buckets_.size();
+            CAMLLM_ASSERT(from < end);
+            const std::size_t off =
+                scanOccupied(occ0_.data(), buckets_.size(),
+                             std::size_t(from & bucket_mask_),
+                             std::size_t(end - from));
+            CAMLLM_ASSERT(off < std::size_t(end - from),
+                          "non-empty calendar scanned empty");
+            cal_scan_ = from + Tick(off);
+            return cal_scan_;
+        }
+        if (wheel_count_ > 0) {
+            // The lowest non-empty wheel holds the globally earliest
+            // event: higher levels differ from the anchor at a higher
+            // digit, i.e. lie in strictly later blocks.
+            unsigned k = 0;
+            while (wheels_[k].count == 0)
+                ++k;
+            Wheel &w = wheels_[k];
+            // Only slots at/after the anchor's digit can be occupied
+            // (an earlier digit would mean a tick below the anchor),
+            // so the scan never crosses the block edge into stale
+            // slot indices.
+            const std::size_t digit =
+                std::size_t(cal_base_ >> w.shift) & (kUpperSlots - 1);
+            const std::size_t off =
+                scanOccupied(w.occ.data(), kUpperSlots, digit,
+                             kUpperSlots - digit);
+            CAMLLM_ASSERT(off < kUpperSlots - digit,
+                          "non-empty wheel scanned empty in-block");
+            const std::size_t idx = digit + off;
+            const Tick start =
+                ((cal_base_ >> (w.shift + 10)) << (w.shift + 10)) |
+                (Tick(idx) << w.shift);
+            if (start > commit_limit)
+                return start; // lower bound; anchor stays put
+            // Cascade: drain the slot in stored (insertion) order
+            // into the levels below. Its span is exactly the next
+            // level's whole block, so every event lands at least one
+            // level down; only anchor digits below level k change,
+            // so no other event's level shifts.
+            cal_base_ = start;
+            cal_scan_ = start;
+            Bucket &b = w.slots[idx];
+            Event *ev = b.head;
+            b.head = b.tail = nullptr;
+            w.occ[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+            while (ev != nullptr) {
+                Event *next = ev->next;
+                --w.count;
+                --wheel_count_;
+                enqueue(ev);
+                ev = next;
+            }
+            continue;
+        }
         CAMLLM_ASSERT(!heap_.empty());
-        return heap_.front().when;
+        const Tick top = heap_.front().when;
+        if (top > commit_limit)
+            return top;
+        migrateFromHeap();
     }
-    Tick t = std::max(cal_scan_, now_);
-    while (buckets_[t & bucket_mask_].head == nullptr)
-        ++t;
-    cal_scan_ = t;
-    return t;
 }
 
 EventQueue::Event *
 EventQueue::popEarliest()
 {
-    if (cal_count_ == 0)
-        advanceWindow(peekEarliestTick());
-    const Tick t = peekEarliestTick();
-    Bucket &b = buckets_[t & bucket_mask_];
+    const Tick t = peekEarliestTick(kTickMax);
+    const std::size_t idx = std::size_t(t & bucket_mask_);
+    Bucket &b = buckets_[idx];
     Event *ev = b.head;
     b.head = ev->next;
-    if (b.head == nullptr)
+    if (b.head == nullptr) {
         b.tail = nullptr;
+        occ0_[idx >> 6] &= ~(std::uint64_t(1) << (idx & 63));
+    }
     --cal_count_;
     return ev;
 }
@@ -235,8 +363,11 @@ EventQueue::run()
 Tick
 EventQueue::runUntil(Tick limit)
 {
+    // The bounded peek never commits an anchor advance past @p limit,
+    // so when the loop breaks the clock lands at limit >= cal_base_
+    // and later schedules can never target a tick below the anchor.
     while (!empty()) {
-        if (peekEarliestTick() > limit)
+        if (peekEarliestTick(limit) > limit)
             break;
         step();
     }
@@ -256,7 +387,21 @@ EventQueue::reset()
         }
         b.head = b.tail = nullptr;
     }
+    std::fill(occ0_.begin(), occ0_.end(), 0);
     cal_count_ = 0;
+    for (Wheel &w : wheels_) {
+        for (Bucket &b : w.slots) {
+            for (Event *ev = b.head; ev != nullptr;) {
+                Event *next = ev->next;
+                release(ev);
+                ev = next;
+            }
+            b.head = b.tail = nullptr;
+        }
+        w.occ.fill(0);
+        w.count = 0;
+    }
+    wheel_count_ = 0;
     for (FarEvent &fe : heap_)
         release(fe.ev);
     heap_.clear();

@@ -159,6 +159,22 @@ TEST(Accumulator, SingleSampleVarianceZero)
     EXPECT_DOUBLE_EQ(a.variance(), 0.0);
 }
 
+// Samples with a large common offset (tick timestamps): the textbook
+// sum-of-squares variance cancels catastrophically (1e30 magnitudes
+// differing by ~1), while Welford's online form stays exact here.
+TEST(Accumulator, VarianceStableUnderLargeOffset)
+{
+    Accumulator a;
+    a.add(1e15);
+    a.add(1e15 + 1.0);
+    a.add(1e15 + 2.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 1e15 + 1.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 1.0);
+    EXPECT_DOUBLE_EQ(a.stddev(), 1.0);
+    EXPECT_DOUBLE_EQ(a.min(), 1e15);
+    EXPECT_DOUBLE_EQ(a.max(), 1e15 + 2.0);
+}
+
 TEST(SampleSet, EmptySetIsAllZero)
 {
     SampleSet s;

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * FleetSweep tests: deterministic per-replica seeding, bit-identical
+ * results across worker-thread counts, index-ordered merge math, and
+ * an end-to-end fleet of real serve() replicas. Labeled "serving" in
+ * CMake (ctest -L serving).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/arrivals.h"
+#include "core/fleet.h"
+#include "core/presets.h"
+#include "core/scheduler.h"
+#include "llm/model_config.h"
+
+namespace camllm {
+namespace {
+
+using core::FleetStats;
+using core::FleetSweep;
+using core::SchedOptions;
+using core::ServeRequestStats;
+using core::ServeStats;
+
+TEST(FleetSeed, DistinctAndStable)
+{
+    std::set<std::uint64_t> seen;
+    for (std::size_t i = 0; i < 256; ++i)
+        seen.insert(FleetSweep::replicaSeed(42, i));
+    EXPECT_EQ(seen.size(), 256u); // no collisions across a big fleet
+    // Pure function of (base, index): same in, same out; base moves
+    // every replica's stream.
+    EXPECT_EQ(FleetSweep::replicaSeed(42, 7),
+              FleetSweep::replicaSeed(42, 7));
+    EXPECT_NE(FleetSweep::replicaSeed(42, 7),
+              FleetSweep::replicaSeed(43, 7));
+}
+
+/** Synthetic replica: cheap, fully determined by (replica, seed). */
+ServeStats
+syntheticReplica(std::size_t replica, std::uint64_t seed)
+{
+    Rng rng(seed);
+    ServeStats s;
+    s.total_tokens = 100 + rng.below(100);
+    s.sim_events = 1000 + rng.below(1000);
+    s.sim_makespan = Tick(10000 + rng.below(10000));
+    s.admitted = 3;
+    s.completed = 3;
+    s.goodput_tokens_per_s = double(1 + replica);
+    s.finite_run_tokens_per_s = 2.0 * double(1 + replica);
+    for (int r = 0; r < 3; ++r) {
+        ServeRequestStats req;
+        req.tokens_emitted = 1 + std::uint32_t(r);
+        req.ttft_ms = double(rng.below(1000)) / 10.0;
+        s.requests.push_back(req);
+    }
+    return s;
+}
+
+TEST(FleetSweep, BitIdenticalAcrossThreadCounts)
+{
+    const auto run = [](unsigned threads) {
+        return FleetSweep(threads).run(8, 42, syntheticReplica);
+    };
+    const FleetStats a = run(1);
+    const FleetStats b = run(4);
+    const FleetStats c = run(13); // more workers than replicas
+    ASSERT_EQ(a.replicas, 8u);
+    for (const FleetStats *f : {&b, &c}) {
+        EXPECT_EQ(f->replicas, a.replicas);
+        EXPECT_EQ(f->requests, a.requests);
+        EXPECT_EQ(f->total_tokens, a.total_tokens);
+        EXPECT_EQ(f->sim_events, a.sim_events);
+        EXPECT_EQ(f->sim_makespan_max, a.sim_makespan_max);
+        EXPECT_EQ(f->goodput_tokens_per_s, a.goodput_tokens_per_s);
+        EXPECT_EQ(f->ttft.p99_ms, a.ttft.p99_ms);
+        EXPECT_EQ(f->ttft.mean_ms, a.ttft.mean_ms);
+        for (std::size_t i = 0; i < a.replicas; ++i) {
+            EXPECT_EQ(f->replica_stats[i].sim_events,
+                      a.replica_stats[i].sim_events);
+            EXPECT_EQ(f->replica_stats[i].total_tokens,
+                      a.replica_stats[i].total_tokens);
+        }
+    }
+}
+
+// A replica's result depends only on (index, base seed) — growing the
+// fleet must not perturb the replicas that were already there.
+TEST(FleetSweep, ReplicaPrefixIndependentOfFleetSize)
+{
+    const FleetStats small =
+        FleetSweep(4).run(2, 42, syntheticReplica);
+    const FleetStats big = FleetSweep(4).run(6, 42, syntheticReplica);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_EQ(small.replica_stats[i].sim_events,
+                  big.replica_stats[i].sim_events);
+        EXPECT_EQ(small.replica_stats[i].total_tokens,
+                  big.replica_stats[i].total_tokens);
+        EXPECT_EQ(small.replica_stats[i].sim_makespan,
+                  big.replica_stats[i].sim_makespan);
+    }
+}
+
+TEST(FleetSweep, MergeMathIsIndexOrderedSums)
+{
+    std::vector<ServeStats> reps(2);
+    reps[0].total_tokens = 10;
+    reps[0].sim_events = 100;
+    reps[0].sim_makespan = 500;
+    reps[0].admitted = 1;
+    reps[0].completed = 1;
+    reps[0].goodput_tokens_per_s = 1.5;
+    reps[1].total_tokens = 20;
+    reps[1].sim_events = 300;
+    reps[1].sim_makespan = 400;
+    reps[1].admitted = 2;
+    reps[1].completed = 1;
+    reps[1].goodput_tokens_per_s = 2.5;
+    ServeRequestStats r0;
+    r0.tokens_emitted = 1;
+    r0.ttft_ms = 4.0;
+    reps[0].requests.push_back(r0);
+    ServeRequestStats r1;
+    r1.tokens_emitted = 2;
+    r1.ttft_ms = 8.0;
+    reps[1].requests.push_back(r1);
+    ServeRequestStats shed; // never emitted: excluded from TTFT
+    shed.tokens_emitted = 0;
+    shed.ttft_ms = 0.0;
+    reps[1].requests.push_back(shed);
+
+    const FleetStats m = FleetSweep::merge(reps);
+    EXPECT_EQ(m.replicas, 2u);
+    EXPECT_EQ(m.requests, 3u);
+    EXPECT_EQ(m.total_tokens, 30u);
+    EXPECT_EQ(m.sim_events, 400u);
+    EXPECT_EQ(m.sim_makespan_max, 500u);
+    EXPECT_EQ(m.admitted, 3u);
+    EXPECT_EQ(m.completed, 2u);
+    EXPECT_DOUBLE_EQ(m.goodput_tokens_per_s, 4.0);
+    EXPECT_EQ(m.ttft.n, 2u); // pooled samples, shed request excluded
+    EXPECT_DOUBLE_EQ(m.ttft.mean_ms, 6.0);
+    EXPECT_DOUBLE_EQ(m.ttft.max_ms, 8.0);
+    EXPECT_DOUBLE_EQ(m.ttft.p50_ms, 4.0); // nearest rank of {4, 8}
+}
+
+// End to end: a fleet of real serve() replicas, each replaying its
+// own seeded Poisson trace, merged bit-identically regardless of the
+// worker pool size.
+TEST(FleetSweep, RealServeFleetIsDeterministic)
+{
+    const core::Scheduler sched(core::presetS(), llm::opt6_7b());
+    SchedOptions opt;
+    opt.max_batch = 2;
+    const auto replica = [&](std::size_t, std::uint64_t seed) {
+        const core::ArrivalTrace trace = core::ArrivalTrace::poisson(
+            200.0, 3, seed, {{96, 2}, {128, 2}});
+        return sched.serve(trace, opt);
+    };
+    const FleetStats a = FleetSweep(1).run(3, 7, replica);
+    const FleetStats b = FleetSweep(3).run(3, 7, replica);
+
+    EXPECT_EQ(a.replicas, 3u);
+    EXPECT_EQ(a.requests, 9u);
+    EXPECT_GT(a.sim_events, 0u);
+    EXPECT_GT(a.total_tokens, 0u);
+    // Replicas saw different seeds, so their workloads differ...
+    EXPECT_NE(a.replica_stats[0].sim_makespan,
+              a.replica_stats[1].sim_makespan);
+    // ...but the merged fleet result is independent of thread count.
+    EXPECT_EQ(b.requests, a.requests);
+    EXPECT_EQ(b.total_tokens, a.total_tokens);
+    EXPECT_EQ(b.sim_events, a.sim_events);
+    EXPECT_EQ(b.sim_makespan_max, a.sim_makespan_max);
+    EXPECT_EQ(b.ttft.p99_ms, a.ttft.p99_ms);
+    EXPECT_EQ(b.goodput_tokens_per_s, a.goodput_tokens_per_s);
+    // Deterministic reductions sum across replicas.
+    std::uint64_t events = 0;
+    for (const ServeStats &s : a.replica_stats)
+        events += s.sim_events;
+    EXPECT_EQ(a.sim_events, events);
+}
+
+} // namespace
+} // namespace camllm

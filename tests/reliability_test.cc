@@ -382,6 +382,35 @@ TEST(ReliabilityServing, RefreshScrubsCompeteAndAccount)
     EXPECT_EQ(again.sim_makespan, st.sim_makespan);
 }
 
+// Regression for the open-loop scrubber: a configured rate far above
+// die service capacity (~33k pages/s/die at tR = 30 us) used to stack
+// one scrub read per beat onto saturated channel queues without
+// bound. The closed-loop beat must defer instead, completing scrubs
+// at hardware pace while serving still finishes.
+TEST(ReliabilityServing, OverCapacityRefreshSelfThrottles)
+{
+    const Scheduler sched(core::presetS(), llm::opt6_7b());
+    SchedOptions opt = chunkedOpts();
+    opt.faults.refresh_pages_per_s = 2.0e6; // ~60x one die's capacity
+    const ServeStats st = sched.serve(smallTrace(), opt);
+
+    EXPECT_EQ(st.completed, 2u);
+    EXPECT_GT(st.refresh_pages, 0u);
+    EXPECT_GT(st.refresh_deferred_beats, 0u);
+    // Completed scrubs are bounded by service capacity, not by the
+    // configured rate: the open-loop scrubber would have issued one
+    // read per beat (2e6/s over the whole makespan).
+    const double beats_configured =
+        double(st.sim_makespan) / double(kSec) * 2.0e6;
+    EXPECT_LT(double(st.refresh_pages), beats_configured / 10.0);
+
+    // Deterministic: the same spec replays the same throttling.
+    const ServeStats again = sched.serve(smallTrace(), opt);
+    EXPECT_EQ(again.refresh_pages, st.refresh_pages);
+    EXPECT_EQ(again.refresh_deferred_beats, st.refresh_deferred_beats);
+    EXPECT_EQ(again.sim_makespan, st.sim_makespan);
+}
+
 TEST(ReliabilityServing, WearLevelingShrinksTheSpreadUnderRefresh)
 {
     const Scheduler sched(core::presetS(), llm::opt6_7b());

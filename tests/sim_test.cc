@@ -280,6 +280,183 @@ TEST(EventQueueWindow, NestedSchedulingAcrossBoundary)
     EXPECT_EQ(times, (std::vector<Tick>{15, 16, 31, 500}));
 }
 
+TEST(EventQueueWindow, EnvVarRejectsGarbage)
+{
+    // strtol would silently accept a valid prefix; the queue must
+    // insist on a fully-consumed plain decimal count and fall back to
+    // the default (with a warning) otherwise.
+    for (const char *bad : {"1024abc", "1e6", "", "abc", "-16", "0",
+                            "999999999999999999999999"}) {
+        setenv("CAMLLM_EQ_WINDOW", bad, 1);
+        EXPECT_EQ(EventQueue().windowTicks(), EventQueue::kDefaultWindow)
+            << "CAMLLM_EQ_WINDOW='" << bad << "'";
+    }
+    unsetenv("CAMLLM_EQ_WINDOW");
+}
+
+// Events exactly at (and adjacent to) every wheel-block boundary, each
+// tick scheduled twice, inserted in descending order: the hierarchy
+// must still execute in exact (tick, insertion) order, and only ticks
+// beyond the top wheel's block may touch the far-future heap.
+TEST(EventQueueWindow, EventsAtExactBlockBoundaries)
+{
+    EventQueue eq(16); // W=16: block widths 2^14, 2^24, 2^34, 2^44
+    const std::vector<Tick> edges = {
+        Tick(1) << 4,  Tick(1) << 14, Tick(1) << 24,
+        Tick(1) << 34, Tick(1) << 44,
+    };
+    std::vector<Tick> ticks = {0};
+    for (Tick e : edges) {
+        ticks.push_back(e - 1);
+        ticks.push_back(e);
+        ticks.push_back(e + 1);
+    }
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::pair<Tick, int>> want;
+    int idx = 0;
+    for (auto it = ticks.rbegin(); it != ticks.rend(); ++it)
+        for (int rep = 0; rep < 2; ++rep, ++idx) {
+            const Tick when = *it;
+            want.emplace_back(when, idx);
+            eq.schedule(when, [&fired, when, idx] {
+                fired.emplace_back(when, idx);
+            });
+        }
+    // Only 2^44 and 2^44 + 1 lie beyond the top block (x2 each).
+    EXPECT_EQ(eq.heapPending(), 4u);
+    eq.run();
+    std::stable_sort(want.begin(), want.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(fired, want);
+}
+
+// Randomized mix spanning every level (dense same-tick collisions in
+// the window, mid wheels, and past-top-block heap events).
+TEST(EventQueueWindow, RandomizedAllLevelsOrderPreserved)
+{
+    Rng rng(7);
+    EventQueue eq(16);
+    const Tick scales[] = {64, Tick(1) << 16, Tick(1) << 26,
+                           Tick(1) << 36, Tick(1) << 45};
+    std::vector<std::pair<Tick, int>> fired;
+    std::vector<std::pair<Tick, int>> want;
+    for (int i = 0; i < 4000; ++i) {
+        const Tick when = Tick(rng.below(scales[i % 5]));
+        want.emplace_back(when, i);
+        eq.schedule(when, [&fired, when, i] {
+            fired.emplace_back(when, i);
+        });
+    }
+    eq.run();
+    std::stable_sort(want.begin(), want.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.first < b.first;
+                     });
+    EXPECT_EQ(fired, want);
+    EXPECT_EQ(eq.executed(), 4000u);
+}
+
+// Regression for the lazily-cascading calendar: a runUntil() that
+// stops inside an idle gap peeks at (but must not commit past) the
+// next pending tick. Events scheduled afterwards, below that tick,
+// must still run first and in order.
+TEST(EventQueue, RunUntilIdleGapThenEarlierSchedule)
+{
+    EventQueue eq(16);
+    std::vector<Tick> times;
+    auto mark = [&] { times.push_back(eq.now()); };
+    eq.schedule(100000, mark); // two wheels up for W=16
+    eq.runUntil(50);
+    EXPECT_EQ(eq.now(), 50u);
+    EXPECT_EQ(eq.pending(), 1u);
+    eq.schedule(60, mark);
+    eq.schedule(55, mark); // same upper-wheel slot as 60, earlier tick
+    eq.run();
+    EXPECT_EQ(times, (std::vector<Tick>{55, 60, 100000}));
+}
+
+// The bucket-scan cursor caches the last found tick; an event
+// scheduled below it (but past now) must rewind the cursor.
+TEST(EventQueue, RunUntilKeepsScanCursorConsistent)
+{
+    EventQueue eq;
+    std::vector<Tick> times;
+    auto mark = [&] { times.push_back(eq.now()); };
+    eq.schedule(100, mark);
+    eq.schedule(900, mark);
+    eq.runUntil(500); // runs 100, scan cursor parks on 900
+    eq.schedule(600, mark);
+    eq.runUntil(700); // must find 600 despite the parked cursor
+    EXPECT_EQ(times, (std::vector<Tick>{100, 600}));
+    eq.run();
+    EXPECT_EQ(times, (std::vector<Tick>{100, 600, 900}));
+}
+
+// reset() must clear every level (window, wheels, heap) and the scan
+// cursor, so earlier ticks are schedulable again from a cold clock.
+TEST(EventQueue, ResetClearsScanCursorAndWheels)
+{
+    EventQueue eq(16);
+    eq.schedule(30, [] {});
+    eq.schedule(100000, [] {});        // upper wheel
+    eq.schedule(Tick(1) << 44, [] {}); // heap
+    eq.runUntil(40);                   // executes 30, peeks the rest
+    eq.reset();
+    EXPECT_TRUE(eq.empty());
+    EXPECT_EQ(eq.now(), 0u);
+    std::vector<Tick> times;
+    auto mark = [&] { times.push_back(eq.now()); };
+    eq.schedule(5, mark);
+    eq.schedule(2, mark);
+    eq.run();
+    EXPECT_EQ(times, (std::vector<Tick>{2, 5}));
+    EXPECT_EQ(eq.executed(), 2u);
+}
+
+// Same-tick FIFO across cascade depths: events for one far tick are
+// inserted at different anchor positions (so they enter at different
+// wheel levels) and must still interleave in insertion order.
+TEST(EventQueue, SameTickFifoAcrossWheelCascades)
+{
+    EventQueue eq(16);
+    std::vector<int> order;
+    const Tick far = 20'000'000; // third wheel for W=16
+    eq.schedule(far, [&] { order.push_back(0); });
+    eq.schedule(100, [&] {
+        eq.schedule(far, [&] { order.push_back(2); });
+    });
+    eq.schedule(far, [&] { order.push_back(1); });
+    // After this runs the anchor sits one block below `far`, so the
+    // callback's insertion enters at a lower wheel than 0/1/2 did —
+    // yet it must still run last within the tick.
+    eq.schedule(17'000'000, [&] {
+        eq.schedule(far, [&] { order.push_back(3); });
+    });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+// reserve() must be idempotent and respect free-list refills: only a
+// genuinely larger requirement may grow the pool.
+TEST(EventQueue, ReserveTopUpAccounting)
+{
+    EventQueue eq;
+    eq.reserve(1000);
+    const std::size_t p1 = eq.poolAllocated();
+    EXPECT_GE(p1, 1000u);
+    eq.reserve(500); // already covered
+    EXPECT_EQ(eq.poolAllocated(), p1);
+    for (int i = 0; i < 800; ++i)
+        eq.schedule(Tick(i % 97), [] {});
+    eq.run();
+    eq.reserve(1000); // free list was refilled by the run
+    EXPECT_EQ(eq.poolAllocated(), p1);
+    eq.reserve(5000);
+    EXPECT_GE(eq.poolAllocated(), 5000u);
+}
+
 // Same-tick ordering must hold across the calendar/heap boundary:
 // events scheduled for one far tick from the heap and events
 // scheduled for that tick after the window advanced must interleave

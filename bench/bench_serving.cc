@@ -19,7 +19,16 @@
  *     same fixed arrival scenario served under shrinking paged-KV
  *     budgets, recording SLO percentiles, preemption/eviction counts
  *     and recompute volume per budget point (`kv_sweep.*` keys; the
- *     50%-budget point also runs in --smoke so CI diffs it).
+ *     50%-budget point also runs in --smoke so CI diffs it). Two
+ *     KV-reuse axes ride on the same scenario (smoke included, so CI
+ *     diffs their keys in both directions): the 50% point again with
+ *     swap-to-flash + partial eviction armed (`kv_sweep.swap50.*`;
+ *     self-check: p95 TTFT with swap <= recompute-only + 2%
+ *     resonance headroom), and a shared-system-prompt variant of the
+ *     trace served with prefix sharing off/on (`kv_sweep.share_*`;
+ *     self-checks: the prefix fields are inert with the knob off —
+ *     bit-identical replay — and users-per-GB strictly rises with it
+ *     on).
  *
  *  5. A fault sweep (`--fault-sweep` for just this section): the SLO
  *     smoke scenario served under a grid of uncorrectable-page rates
@@ -519,6 +528,180 @@ main(int argc, char **argv)
                      "water <= capacity): "
                   << (kv_sane ? "yes" : "NO") << "\n";
         json.add("kv_sweep.sane", std::uint64_t(kv_sane ? 1 : 0));
+
+        // --- KV reuse: swap-to-flash + partial eviction -----------------
+        // The 50% point again with the reuse knobs armed: evictions
+        // keep warm head blocks and shed tails to the flash KV region
+        // (cost model and quota permitting) instead of recomputing
+        // them on resume. The last sweep point above is the
+        // recompute-only 50% reference in both smoke and full runs.
+        const core::ServeStats &recompute50 = kstats.back();
+        core::SchedOptions swap_opt;
+        swap_opt.max_batch = 4;
+        swap_opt.policy = core::SchedPolicy::ChunkedInterleave;
+        swap_opt.prefill_chunk = 256;
+        swap_opt.npu_contention = true;
+        swap_opt.kv_block_tokens = block_tokens;
+        swap_opt.kv_budget_bytes = demand_blocks * 50 / 100 *
+                                   block_tokens * token_kv_bytes;
+        swap_opt.kv_swap = true;
+        swap_opt.kv_partial_evict = true;
+        const core::ServeStats swap50 =
+            sched.serve(kv_trace, swap_opt);
+
+        Table ts("KV reuse at 50% budget: recompute-only vs "
+                 "swap-to-flash + partial eviction");
+        ts.header({"mode", "TTFT p95", "p99", "TBT p95", "tok/s",
+                   "preempt", "partial", "recompute tok",
+                   "swap out/in/refused", "swap MB"});
+        const auto reuseRow = [&](const std::string &label,
+                                  const core::ServeStats &s) {
+            ts.row({label, Table::fmt(s.ttft.p95_ms, 0),
+                    Table::fmt(s.ttft.p99_ms, 0),
+                    Table::fmt(s.tbt.p95_ms, 0),
+                    Table::fmt(s.finite_run_tokens_per_s, 2),
+                    Table::fmtInt(s.preemptions),
+                    Table::fmtInt(s.partial_evictions),
+                    Table::fmtInt(std::uint32_t(s.recompute_tokens)),
+                    Table::fmtInt(std::uint32_t(s.swap_out_blocks)) +
+                        "/" +
+                        Table::fmtInt(
+                            std::uint32_t(s.swap_in_blocks)) +
+                        "/" +
+                        Table::fmtInt(
+                            std::uint32_t(s.swap_refused_blocks)),
+                    Table::fmt(double(s.kv_swap_channel_bytes) / 1e6,
+                               1)});
+        };
+        reuseRow("recompute-only", recompute50);
+        reuseRow("swap+partial", swap50);
+        ts.print(std::cout);
+
+        addKv(json, "kv_sweep.swap50", swap50);
+        json.add("kv_sweep.swap50.partial_evictions",
+                 std::uint64_t(swap50.partial_evictions));
+        json.add("kv_sweep.swap50.swap_out_blocks",
+                 swap50.swap_out_blocks);
+        json.add("kv_sweep.swap50.swap_in_blocks",
+                 swap50.swap_in_blocks);
+        json.add("kv_sweep.swap50.swap_refused_blocks",
+                 swap50.swap_refused_blocks);
+        json.add("kv_sweep.swap50.kv_swap_channel_mb",
+                 double(swap50.kv_swap_channel_bytes) / 1e6);
+
+        // Acceptance self-check: streaming KV back over the channels
+        // must not be slower at the first-token tail than burning the
+        // NPU to recompute it — with the 2% resonance headroom every
+        // cross-config latency check in this bench carries.
+        const bool swap_ok =
+            swap50.ttft.p95_ms <= recompute50.ttft.p95_ms * 1.02;
+        std::cout << "swap p95 TTFT <= recompute-only (+2%): "
+                  << (swap_ok ? "yes" : "NO") << "\n";
+        json.add("kv_sweep.swap_p95_within",
+                 std::uint64_t(swap_ok ? 1 : 0));
+
+        // --- KV reuse: prefix sharing -----------------------------------
+        // The same trace where every request leads with one shared
+        // 256-token system prompt, served at the 100% budget with
+        // sharing off (tagged and untagged — the fields must be
+        // inert) and on. Capacity-per-GB is measured as users per GB
+        // of KV actually allocated: sharing maps cached prefix blocks
+        // into later tables instead of allocating fresh ones.
+        const std::uint32_t shared_tokens = 256;
+        const core::ArrivalTrace shared_trace =
+            kv_trace.withSharedPrefix(1, shared_tokens);
+        const auto share = sweep.map<core::ServeStats>(
+            3, [&](std::size_t i) {
+                core::SchedOptions opt;
+                opt.max_batch = 4;
+                opt.policy = core::SchedPolicy::ChunkedInterleave;
+                opt.prefill_chunk = 256;
+                opt.npu_contention = true;
+                opt.kv_block_tokens = block_tokens;
+                opt.kv_budget_bytes = demand_blocks * block_tokens *
+                                      token_kv_bytes;
+                opt.kv_prefix_sharing = i == 2;
+                return sched.serve(
+                    i == 0 ? kv_trace : shared_trace, opt);
+            });
+        const core::ServeStats &share_off = share[0];
+        const core::ServeStats &share_on = share[2];
+
+        const double block_gb = double(block_tokens) *
+                                double(token_kv_bytes) / 1e9;
+        const auto usersPerGb = [&](const core::ServeStats &s) {
+            return double(s.requests.size()) /
+                   (double(s.kv_block_allocs) * block_gb);
+        };
+        Table tp("Prefix sharing (6 requests, one shared 256-token "
+                 "system prompt, 100% budget)");
+        tp.header({"mode", "TTFT p95", "tok/s", "block allocs",
+                   "KV high water", "prefix hits", "users/GB"});
+        const auto shareRow = [&](const std::string &label,
+                                  const core::ServeStats &s) {
+            tp.row({label, Table::fmt(s.ttft.p95_ms, 0),
+                    Table::fmt(s.finite_run_tokens_per_s, 2),
+                    Table::fmtInt(std::uint32_t(s.kv_block_allocs)),
+                    Table::fmtInt(
+                        std::uint32_t(s.kv_blocks_high_water)),
+                    Table::fmtInt(
+                        std::uint32_t(s.prefix_hit_blocks)),
+                    Table::fmt(usersPerGb(s), 2)});
+        };
+        shareRow("sharing off", share_off);
+        shareRow("sharing on", share_on);
+        tp.print(std::cout);
+
+        addKv(json, "kv_sweep.share_off", share_off);
+        addKv(json, "kv_sweep.share_on", share_on);
+        json.add("kv_sweep.share_on.prefix_hit_blocks",
+                 share_on.prefix_hit_blocks);
+        json.add("kv_sweep.share_on.prefix_hit_tokens",
+                 share_on.prefix_hit_tokens);
+        json.add("kv_sweep.share_on.prefix_inserted_blocks",
+                 share_on.prefix_inserted_blocks);
+        json.add("kv_sweep.share_on.prefix_dropped_blocks",
+                 share_on.prefix_dropped_blocks);
+        json.add("kv_sweep.share_off.kv_block_allocs",
+                 share_off.kv_block_allocs);
+        json.add("kv_sweep.share_on.kv_block_allocs",
+                 share_on.kv_block_allocs);
+        json.add("kv_sweep.share.users_per_gb_off",
+                 usersPerGb(share_off));
+        json.add("kv_sweep.share.users_per_gb_on",
+                 usersPerGb(share_on));
+
+        // Acceptance self-check 1: with the knob off the prefix tags
+        // must be dead weight — the tagged trace replays the untagged
+        // serve bit-identically.
+        bool share_inert =
+            share[0].requests.size() == share[1].requests.size();
+        for (std::size_t i = 0;
+             share_inert && i < share[0].requests.size(); ++i)
+            share_inert =
+                share[0].requests[i].finish_tick ==
+                    share[1].requests[i].finish_tick &&
+                share[0].requests[i].total_token_time ==
+                    share[1].requests[i].total_token_time &&
+                share[0].requests[i].prefill_time ==
+                    share[1].requests[i].prefill_time;
+        std::cout << "prefix tags inert with sharing off "
+                     "(bit-exact): "
+                  << (share_inert ? "yes" : "NO") << "\n";
+        json.add("kv_sweep.share_inert_bit_exact",
+                 std::uint64_t(share_inert ? 1 : 0));
+
+        // Acceptance self-check 2: sharing must strictly raise the
+        // users served per GB of allocated KV (i.e. strictly shrink
+        // fresh block allocations), and do it through real hits.
+        const bool share_gain =
+            share_on.prefix_hit_blocks > 0 &&
+            share_on.kv_block_allocs < share_off.kv_block_allocs;
+        std::cout << "users-per-GB strictly rises under the shared "
+                     "prompt: "
+                  << (share_gain ? "yes" : "NO") << "\n";
+        json.add("kv_sweep.share_capacity_rises",
+                 std::uint64_t(share_gain ? 1 : 0));
     }
 
     // --- fault sweep ----------------------------------------------------

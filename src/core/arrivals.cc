@@ -80,6 +80,19 @@ ArrivalTrace::fromFile(const std::string &path)
 }
 
 ArrivalTrace
+ArrivalTrace::withSharedPrefix(std::uint64_t prefix_id,
+                               std::uint32_t prefix_tokens) const
+{
+    CAMLLM_ASSERT(prefix_id != 0 && prefix_tokens >= 1);
+    ArrivalTrace t = *this;
+    for (ServeRequest &r : t.reqs_) {
+        r.prefix_id = prefix_id;
+        r.prefix_tokens = std::min(r.prompt, prefix_tokens);
+    }
+    return t;
+}
+
+ArrivalTrace
 ArrivalTrace::burst(std::vector<ServeRequest> requests)
 {
     ArrivalTrace t;

@@ -44,6 +44,19 @@ struct ServeRequest
      *  client gives up and the scheduler tears the request down,
      *  wherever it is — queued, prefilling or decoding. */
     Tick cancel_at = 0;
+
+    /** Shared-prompt tag (0 = none): requests with the same nonzero
+     *  id lead with the same @ref prefix_tokens prompt tokens, so a
+     *  prefix-sharing scheduler can map the cached KV blocks of that
+     *  prefix into this request's table instead of prefilling them
+     *  again. Inert unless SchedOptions::kv_prefix_sharing is on. */
+    std::uint64_t prefix_id = 0;
+
+    /** Leading prompt tokens covered by @ref prefix_id. Sharing works
+     *  at block granularity on context-free prompts: only whole KV
+     *  blocks inside this span (and strictly inside the prompt, so
+     *  the last chunk still emits the first token) are shared. */
+    std::uint32_t prefix_tokens = 0;
 };
 
 /** A (prompt, decode_tokens) request shape for synthetic traces. */
@@ -77,6 +90,12 @@ class ArrivalTrace
 
     /** Every request landing at t = 0 (a burst / fixed queue). */
     static ArrivalTrace burst(std::vector<ServeRequest> requests);
+
+    /** Copy of this trace with every request tagged as leading with
+     *  the same @p prefix_tokens-token shared prompt @p prefix_id —
+     *  the "thousands of users share a system prompt" workload. */
+    ArrivalTrace withSharedPrefix(std::uint64_t prefix_id,
+                                  std::uint32_t prefix_tokens) const;
 
     const std::vector<ServeRequest> &requests() const { return reqs_; }
     std::size_t size() const { return reqs_.size(); }

@@ -65,6 +65,7 @@ KvPool::allocBlock()
     CAMLLM_ASSERT(refcount_[id] == 0, "allocating a live block");
     refcount_[id] = 1;
     ++in_use_;
+    ++refs_outstanding_;
     ++allocs_;
     high_water_ = std::max(high_water_, in_use_);
     return id;
@@ -95,6 +96,7 @@ KvPool::retain(std::uint32_t block)
     CAMLLM_ASSERT(block < refcount_.size() && refcount_[block] > 0,
                   "retain of a dead KV block");
     ++refcount_[block];
+    ++refs_outstanding_;
 }
 
 void
@@ -102,6 +104,8 @@ KvPool::releaseBlock(std::uint32_t block)
 {
     CAMLLM_ASSERT(block < refcount_.size() && refcount_[block] > 0,
                   "double free of KV block %u", block);
+    CAMLLM_ASSERT(refs_outstanding_ > 0);
+    --refs_outstanding_;
     if (--refcount_[block] > 0)
         return;
     CAMLLM_ASSERT(in_use_ > 0);

@@ -86,6 +86,12 @@ class KvPool
     /** Drop a reference on @p block; frees it at refcount 0. */
     void releaseBlock(std::uint32_t block);
 
+    /** Current reference count of @p block (0 = free). */
+    std::uint32_t refCount(std::uint32_t block) const
+    {
+        return block < refcount_.size() ? refcount_[block] : 0;
+    }
+
     // --- usage statistics ----------------------------------------------
     std::uint64_t blocksInUse() const { return in_use_; }
     std::uint64_t freeBlocks() const;
@@ -94,8 +100,17 @@ class KvPool
     std::uint64_t freeCount() const { return frees_; }
 
     /** Blocks still referenced — 0 after every table was released.
-     *  The scheduler audits this at drain; tests assert it. */
+     *  The scheduler audits this at drain; tests assert it. NOTE:
+     *  this is a *block* count — a block shared at refcount N leaks
+     *  N-1 references invisibly here, so the drain audit must check
+     *  leakedRefs() too (it once did not, and a shared block released
+     *  only once passed the audit). */
     std::uint64_t leakedBlocks() const { return in_use_; }
+
+    /** References still outstanding across every block — every
+     *  alloc/retain adds one, every releaseBlock removes one. 0 after
+     *  drain even when sharing held blocks at refcount > 1. */
+    std::uint64_t leakedRefs() const { return refs_outstanding_; }
 
     static constexpr std::uint64_t kUnbounded = ~std::uint64_t(0);
 
@@ -109,6 +124,7 @@ class KvPool
     std::vector<std::uint32_t> free_list_; ///< LIFO, deterministic
     std::vector<std::uint32_t> refcount_;  ///< per allocated block id
     std::uint64_t in_use_ = 0;
+    std::uint64_t refs_outstanding_ = 0;
     std::uint64_t high_water_ = 0;
     std::uint64_t allocs_ = 0;
     std::uint64_t frees_ = 0;

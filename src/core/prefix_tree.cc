@@ -1,0 +1,94 @@
+#include "prefix_tree.h"
+
+#include "common/logging.h"
+
+namespace camllm::core {
+
+std::size_t
+PrefixTree::match(std::uint64_t prefix_id, std::size_t max_blocks,
+                  std::vector<std::uint32_t> &table)
+{
+    auto it = chains_.find(prefix_id);
+    if (it == chains_.end() || max_blocks == 0)
+        return 0;
+    Chain &c = it->second;
+    const std::size_t n = std::min(max_blocks, c.blocks.size());
+    for (std::size_t k = 0; k < n; ++k) {
+        pool_.retain(c.blocks[k]);
+        table.push_back(c.blocks[k]);
+    }
+    if (n > 0) {
+        c.last_touch = ++touch_seq_;
+        hit_blocks_ += n;
+    }
+    return n;
+}
+
+bool
+PrefixTree::insert(std::uint64_t prefix_id, std::size_t index,
+                   std::uint32_t block)
+{
+    Chain &c = chains_[prefix_id];
+    if (index != c.blocks.size())
+        return false; // cached already, or a predecessor is missing
+    pool_.retain(block);
+    c.blocks.push_back(block);
+    c.last_touch = ++touch_seq_;
+    ++cached_;
+    ++inserted_;
+    return true;
+}
+
+std::uint64_t
+PrefixTree::dropCold(std::uint64_t want)
+{
+    std::uint64_t freed = 0;
+    while (freed < want) {
+        // Coldest chain whose tail block no live table maps; ties on
+        // the lower prefix id (map order), so the sweep is
+        // deterministic.
+        auto victim = chains_.end();
+        for (auto it = chains_.begin(); it != chains_.end(); ++it) {
+            Chain &c = it->second;
+            if (c.blocks.empty() ||
+                pool_.refCount(c.blocks.back()) != 1)
+                continue;
+            if (victim == chains_.end() ||
+                c.last_touch < victim->second.last_touch)
+                victim = it;
+        }
+        if (victim == chains_.end())
+            break; // everything left is pinned by a live table
+        Chain &c = victim->second;
+        // Shed the chain's cold tail as far as it stays cache-only.
+        while (freed < want && !c.blocks.empty() &&
+               pool_.refCount(c.blocks.back()) == 1) {
+            pool_.releaseBlock(c.blocks.back());
+            c.blocks.pop_back();
+            CAMLLM_ASSERT(cached_ > 0);
+            --cached_;
+            ++dropped_;
+            ++freed;
+        }
+        if (c.blocks.empty())
+            chains_.erase(victim);
+    }
+    return freed;
+}
+
+void
+PrefixTree::releaseAll()
+{
+    for (auto &[id, c] : chains_) {
+        (void)id;
+        for (std::uint32_t b : c.blocks) {
+            pool_.releaseBlock(b);
+            CAMLLM_ASSERT(cached_ > 0);
+            --cached_;
+        }
+        c.blocks.clear();
+    }
+    chains_.clear();
+}
+
+} // namespace camllm::core

@@ -4,11 +4,14 @@
 #include <functional>
 #include <optional>
 
+#include <unordered_map>
+
 #include "common/logging.h"
 #include "common/stats.h"
 #include "core/decode_stream.h"
 #include "core/kv_pool.h"
 #include "core/npu_arbiter.h"
+#include "core/prefix_tree.h"
 #include "flash/flash_system.h"
 #include "npu/dram.h"
 #include "sim/event_queue.h"
@@ -69,8 +72,23 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     const std::uint64_t token_kv_bytes =
         std::uint64_t(model_.kvDim()) * (quant.act_bits / 8) *
         model_.n_layers;
+    // The sampled-layer share of a token's KV — what one swap
+    // transfer actually moves on the sim clock, matching the depth
+    // convention of every other transfer in the run.
+    const std::uint64_t token_kv_sim_bytes =
+        std::uint64_t(model_.kvDim()) * (quant.act_bits / 8) *
+        std::min(model_.n_layers, config_.sample_layers);
     KvPool pool(opt.kv_budget_bytes, opt.kv_block_tokens,
                 std::uint64_t(opt.kv_block_tokens) * token_kv_bytes);
+    if (opt.kv_swap)
+        CAMLLM_ASSERT(pool.bounded(),
+                      "kv_swap without a bounded KV pool has nothing "
+                      "to swap");
+    if (opt.kv_prefix_sharing)
+        CAMLLM_ASSERT(opt.kv_block_tokens >= 1,
+                      "kv_prefix_sharing shares whole KV blocks and "
+                      "needs kv_block_tokens >= 1");
+    PrefixTree tree(pool);
 
     const auto finalKvTokens = [](const ServeRequest &s) {
         return std::uint64_t(s.context) + s.prompt + s.decode_tokens;
@@ -105,6 +123,22 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         fs.armFaults(faults);
     }
 
+    // KV swap-to-flash: reserve the flash KV region (reusing the
+    // fault layer's placement map when one exists) and connect the
+    // scheduler's own completion port for swap-in reads. Nothing here
+    // runs when the knob is off, so the no-swap event sequence is
+    // untouched.
+    flash::ClientId swap_client = 0;
+    std::function<void(const flash::Completion &)> onSwapCompletion;
+    if (opt.kv_swap) {
+        fs.enableKvSwap(quant.weightBytes(model_.totalParams()),
+                        opt.kv_swap_flash_bytes);
+        swap_client =
+            fs.connect([&](const flash::Completion &c) {
+                onSwapCompletion(c);
+            });
+    }
+
     struct ReqRun
     {
         ServeRequest spec;
@@ -126,8 +160,20 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         bool preempt_pending = false; ///< evict at next step end
         bool resumed = false;   ///< holds a full reservation
         bool first_emitted = false;
-        std::uint32_t recompute_left = 0; ///< KV positions to rebuild
-        std::uint32_t recompute_base = 0; ///< rebuilt so far
+
+        // Block-granular rebuild state after an eviction. Coverage
+        // [0, rebuild_from) is resident (kept by partial eviction or
+        // already restored); [rebuild_from, rebuild_target) rebuilds
+        // left to right — swap-mask blocks stream back from flash,
+        // the rest recompute as Recompute-tagged prefill chunks. With
+        // every KV-reuse knob off this degenerates to the legacy
+        // whole-table recompute (from 0, nothing masked).
+        std::uint32_t rebuild_from = 0;   ///< tokens restored so far
+        std::uint32_t rebuild_target = 0; ///< coverage to restore
+        std::uint32_t recompute_pending = 0; ///< unswapped rebuild tokens
+        std::uint32_t want_tokens = 0; ///< coverage asked while stalled
+        std::uint32_t swapped_out_tokens = 0; ///< flash copies not yet back
+        std::vector<std::uint8_t> swap_mask; ///< block idx → copy in flash
         Tick blocked_since = 0;
         Tick blocked_pre_ft = 0;    ///< KV-blocked sim before 1st token
         Tick recompute_pre_ft = 0;  ///< recompute service before it
@@ -160,6 +206,24 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     SampleSet tbt_ms;
     std::uint32_t total_preemptions = 0;
     std::uint64_t total_recompute_tokens = 0;
+    std::uint32_t total_partial_evictions = 0;
+    std::uint64_t total_swap_out_blocks = 0;
+    std::uint64_t total_swap_in_blocks = 0;
+    std::uint64_t total_swap_refused_blocks = 0;
+
+    // In-flight swap-in ops on the scheduler's flash client: op id →
+    // the owning run and the payload still to land.
+    struct SwapIn
+    {
+        std::size_t run = 0;
+        std::uint64_t remaining = 0;
+        std::uint32_t blocks = 0;
+        std::uint32_t tokens = 0;
+        Tick start = 0;
+    };
+    std::unordered_map<std::uint64_t, SwapIn> swap_inflight;
+    std::uint64_t swap_seq = 0;
+    std::uint32_t swap_rr_ch = 0;
 
     // SLO admission control state: an EMA of depth-extrapolated
     // milliseconds per prefill token, sampled from every finished
@@ -221,15 +285,21 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
 
     // Projected TTFT for an arriving request: every admitted run's
     // outstanding prefill + recompute tokens are ahead of the new
-    // request's own prompt on the shared device.
+    // request's own prompt on the shared device. Swapped-out rebuild
+    // ranges stream over the channels, not the NPU, so only the
+    // recompute share counts as prefill backlog.
     const auto projectedTtftMs = [&](const ServeRequest &spec) {
+        // Cold start: no prefill chunk has finished, so there is no
+        // measured rate to project from. Admit — the guard must never
+        // shed on an empty EMA (a burst at t = 0 would otherwise be
+        // rejected blind; pinned by the SLO cold-start test).
         if (prefill_ms_per_tok <= 0.0)
             return 0.0;
         std::uint64_t backlog = 0;
         for (const ReqRun &q : runs)
             if (q.admitted && !q.finished)
                 backlog += (q.spec.prompt - q.prefill_done) +
-                           q.recompute_left;
+                           q.recompute_pending;
         const std::uint64_t own =
             std::max<std::uint32_t>(1, spec.prompt);
         return double(backlog + own) * prefill_ms_per_tok;
@@ -244,6 +314,36 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         prefill_ms_per_tok = prefill_ms_per_tok == 0.0
                                  ? ms
                                  : 0.7 * prefill_ms_per_tok + 0.3 * ms;
+    };
+
+    // Recompute-vs-swap cost model, decided per evicted block.
+    // Recompute re-runs the block's tokens as a prefill chunk: cost =
+    // tokens x the measured extrapolated ms/token (the admission EMA,
+    // which already bakes in NPU contention, retries and degradation;
+    // before the first sample, an NPU-bound MAC-time floor from the
+    // model's parameter count). Swap moves the block's full-depth
+    // bytes over the channel buses twice — out now, back on resume —
+    // at the bandwidth the alive channels have left at their current
+    // occupancy. Deterministic: every input is sim state.
+    const auto swapBeatsRecompute = [&](std::uint32_t tokens) {
+        double recompute_ms;
+        if (prefill_ms_per_tok > 0.0) {
+            recompute_ms = double(tokens) * prefill_ms_per_tok;
+        } else {
+            const double flops =
+                2.0 * double(model_.totalParams()) * double(tokens);
+            recompute_ms =
+                double(config_.npu.computeTime(flops)) / double(kMs);
+        }
+        const double bus_bytes_per_ns =
+            double(fs.aliveChannels()) *
+            config_.flash.timing.busBytesPerNs();
+        const double headroom = std::max(
+            0.05, 1.0 - fs.avgChannelUtilization(eq.now()));
+        const double swap_ms =
+            2.0 * double(std::uint64_t(tokens) * token_kv_bytes) /
+            (bus_bytes_per_ns * headroom) / double(kMs);
+        return swap_ms < recompute_ms;
     };
 
     // Victim policy: the lowest-priority (latest-arrived) running
@@ -276,16 +376,27 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     };
 
     // Grow @p i's block table to cover @p tokens, or stall the
-    // request and go looking for a victim.
+    // request and go looking for a victim. A dry pool first sheds
+    // cold cache-only prefix blocks (nobody's table maps them) —
+    // cache capacity yields before anyone is preempted.
     const auto ensureKv = [&](std::size_t i, std::uint64_t tokens) {
         ReqRun &r = runs[i];
-        if (pool.tryGrow(r.kv, tokens)) {
+        bool ok = pool.tryGrow(r.kv, tokens);
+        if (!ok && opt.kv_prefix_sharing) {
+            const std::uint64_t shortfall =
+                pool.blocksForTokens(tokens) - r.kv.blocks.size() -
+                pool.freeBlocks();
+            if (tree.dropCold(shortfall) > 0)
+                ok = pool.tryGrow(r.kv, tokens);
+        }
+        if (ok) {
             if (r.stalled) {
                 r.stalled = false;
                 accountUnblock(r);
             }
             return true;
         }
+        r.want_tokens = std::uint32_t(tokens);
         if (!r.stalled) {
             r.stalled = true;
             r.blocked_since = eq.now();
@@ -302,13 +413,92 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         r.stalled = false;
         r.preempt_pending = false;
         r.preempted = true;
-        // Everything the request has written must be rebuilt before
-        // it can continue: warm context, prefilled prompt positions
-        // and the KV of every decoded token.
-        r.recompute_left = std::uint32_t(
+        // Everything the victim sheds must be restored before it can
+        // continue: warm context, prefilled prompt positions and the
+        // KV of every decoded token. Eviction is block-granular —
+        // each shed block either swaps out to flash (cost model and
+        // region quota permitting) or is marked for recompute.
+        const auto coverage = std::uint32_t(
             r.spec.context + r.prefill_done + r.tokens_done);
-        r.recompute_base = 0;
-        pool.release(r.kv);
+        const std::size_t n_blocks = r.kv.blocks.size();
+        CAMLLM_ASSERT(n_blocks == pool.blocksForTokens(coverage),
+                      "victim table covers %zu blocks, coverage %u "
+                      "tokens needs %llu",
+                      n_blocks, coverage,
+                      (unsigned long long)pool.blocksForTokens(
+                          coverage));
+        const std::uint32_t B = pool.blockTokens();
+
+        // Partial eviction: keep the head and shed only the coldest
+        // tail — enough blocks that actually free capacity (shared
+        // blocks held elsewhere free nothing) to cover the worst
+        // stalled run's *final* demand, not just the boundary it
+        // tripped on. Sizing for the final demand costs a few more
+        // tail blocks now but keeps the requester from stalling again
+        // a few tokens later and triggering an eviction cascade that
+        // would erase the partial keep's savings. When even the whole
+        // table cannot cover it, fall back to full eviction (the
+        // legacy policy, and the only choice with the knob off).
+        std::size_t keep = 0;
+        if (opt.kv_partial_evict && n_blocks > 0) {
+            std::uint64_t need = 1;
+            for (const ReqRun &q : runs)
+                if (q.stalled) {
+                    const std::uint64_t q_need = pool.blocksForTokens(
+                        finalKvTokens(q.spec));
+                    if (q_need > q.kv.blocks.size())
+                        need = std::max(need, q_need -
+                                                  q.kv.blocks.size());
+                }
+            const std::uint64_t free_now = pool.freeBlocks();
+            need = need > free_now ? need - free_now : 1;
+            std::uint64_t freeable = 0;
+            std::size_t k = n_blocks;
+            while (k > 0 && freeable < need) {
+                --k;
+                if (pool.refCount(r.kv.blocks[k]) == 1)
+                    ++freeable;
+            }
+            if (freeable >= need && k > 0) {
+                keep = k;
+                ++total_partial_evictions;
+            }
+        }
+
+        r.rebuild_from =
+            std::min(std::uint32_t(keep) * B, coverage);
+        r.rebuild_target = coverage;
+        r.recompute_pending = 0;
+        r.swap_mask.assign(n_blocks, 0);
+        for (std::size_t k = keep; k < n_blocks; ++k) {
+            const std::uint32_t lo = std::uint32_t(k) * B;
+            const std::uint32_t tok =
+                std::min<std::uint32_t>(B, coverage - lo);
+            bool swapped = false;
+            // Shared blocks stay resident for their other holders —
+            // swapping a copy out would duplicate live DRAM data, so
+            // they always rebuild by recompute here.
+            if (opt.kv_swap && tok > 0 &&
+                pool.refCount(r.kv.blocks[k]) == 1 &&
+                swapBeatsRecompute(tok)) {
+                const std::uint64_t full =
+                    std::uint64_t(tok) * token_kv_bytes;
+                const std::uint64_t sim =
+                    std::uint64_t(tok) * token_kv_sim_bytes;
+                if (fs.kvSwapOut(full, sim)) {
+                    swapped = true;
+                    r.swapped_out_tokens += tok;
+                    ++total_swap_out_blocks;
+                } else {
+                    ++total_swap_refused_blocks;
+                }
+            }
+            r.swap_mask[k] = swapped ? 1 : 0;
+            if (!swapped)
+                r.recompute_pending += tok;
+            pool.releaseBlock(r.kv.blocks[k]);
+        }
+        r.kv.blocks.resize(keep);
         ++r.stats.preemptions;
         ++total_preemptions;
         CAMLLM_ASSERT(active > 0);
@@ -353,6 +543,14 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         r.preempt_pending = false;
         if (r.stream)
             r.stream->abortUnit();
+        // Swapped-out copies die with their owner; a swap-in run
+        // still in flight already returned its quota when it was
+        // issued, and its completion is dropped on the finished run.
+        if (r.swapped_out_tokens > 0) {
+            fs.kvSwapFree(std::uint64_t(r.swapped_out_tokens) *
+                          token_kv_bytes);
+            r.swapped_out_tokens = 0;
+        }
         pool.release(r.kv);
         if (was_active) {
             CAMLLM_ASSERT(active > 0);
@@ -377,6 +575,20 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             r.stats.first_token_tick = eq.now();
             r.first_emitted = true;
         }
+        // Publish newly completed whole blocks of the shared prefix
+        // to the tree (cache ref on top of the table's — the block
+        // now survives this request's eviction or retirement).
+        // Blocks the tree already has insert as no-ops.
+        if (opt.kv_prefix_sharing && r.spec.prefix_id != 0 &&
+            r.spec.context == 0 && r.spec.prompt >= 2) {
+            const std::uint32_t B = pool.blockTokens();
+            const std::uint32_t shareable =
+                std::min(r.spec.prefix_tokens, r.spec.prompt - 1);
+            const std::size_t done_blocks = std::min<std::size_t>(
+                r.prefill_done / B, shareable / B);
+            for (std::size_t k = 0; k < done_blocks; ++k)
+                tree.insert(r.spec.prefix_id, k, r.kv.blocks[k]);
+        }
         if (r.preempt_pending) {
             evictRun(i);
             return;
@@ -393,12 +605,12 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         noteChunkRate(s, r.cur_chunk);
         if (!r.first_emitted)
             r.recompute_pre_ft += s.token_time;
-        r.recompute_base += r.cur_chunk;
-        CAMLLM_ASSERT(r.recompute_left >= r.cur_chunk);
-        r.recompute_left -= r.cur_chunk;
+        r.rebuild_from += r.cur_chunk;
+        CAMLLM_ASSERT(r.recompute_pending >= r.cur_chunk);
+        r.recompute_pending -= r.cur_chunk;
         total_recompute_tokens += r.cur_chunk;
         r.cur_chunk = 0;
-        startNext(i); // next recompute chunk, or where it left off
+        startNext(i); // next rebuild range, or where it left off
     };
 
     const auto onTokenDone = [&](std::size_t i, const TokenStats &s) {
@@ -448,6 +660,38 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         return budget;
     };
 
+    // Stream a run of swapped-out blocks back from flash: page reads
+    // tagged WorkClass::KvSwap, round-robin over the channels, on the
+    // scheduler's own flash client. The owner waits for the whole run
+    // to land (onSwapCompletion) before continuing its rebuild; the
+    // flash copies' quota returns here, at issue.
+    const auto issueSwapIn = [&](std::size_t i, std::uint32_t blocks,
+                                 std::uint32_t tokens) {
+        ReqRun &r = runs[i];
+        CAMLLM_ASSERT(r.swapped_out_tokens >= tokens);
+        r.swapped_out_tokens -= tokens;
+        fs.kvSwapFree(std::uint64_t(tokens) * token_kv_bytes);
+        const std::uint64_t op = ++swap_seq;
+        const std::uint64_t sim =
+            std::uint64_t(tokens) * token_kv_sim_bytes;
+        swap_inflight.emplace(
+            op, SwapIn{i, sim, blocks, tokens, eq.now()});
+        const std::uint32_t page =
+            config_.flash.geometry.page_bytes;
+        std::uint64_t left = sim;
+        while (left > 0) {
+            flash::ReadPageJob job;
+            job.client = swap_client;
+            job.cls = flash::WorkClass::KvSwap;
+            job.op_id = op;
+            job.bytes = std::uint32_t(
+                std::min<std::uint64_t>(page, left));
+            left -= job.bytes;
+            fs.submitRead(swap_rr_ch, job);
+            swap_rr_ch = (swap_rr_ch + 1) % fs.channelCount();
+        }
+    };
+
     startNext = [&](std::size_t i) {
         ReqRun &r = runs[i];
         // A killed run's deferred start event (stagger/arrival) still
@@ -461,24 +705,52 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             evictRun(i);
             return;
         }
-        // KV RECOMPUTE: rebuild evicted entries as prefill chunks
-        // under the policy's budget. No token is emitted (last_chunk
-        // = false), and the re-streamed weight traffic is tagged
-        // WorkClass::Recompute. A resumed run holds a full
+        // KV REBUILD: restore evicted coverage left to right. A range
+        // of swapped blocks streams back over the channels
+        // (WorkClass::KvSwap); everything else recomputes as prefill
+        // chunks under the policy's budget — no token is emitted
+        // (last_chunk = false) and the re-streamed weight traffic is
+        // tagged WorkClass::Recompute. Earlier positions are always
+        // resident before later ones rebuild, so attention inputs
+        // stay valid mid-rebuild. A resumed run holds a full
         // reservation, so its ensureKv can never stall.
-        if (r.recompute_left > 0) {
+        if (r.rebuild_from < r.rebuild_target) {
+            const std::uint32_t B = pool.blockTokens();
+            const std::size_t blk = B > 0 ? r.rebuild_from / B : 0;
+            if (blk < r.swap_mask.size() && r.swap_mask[blk]) {
+                // Maximal contiguous run of swapped blocks.
+                std::uint32_t blocks = 0, tokens = 0;
+                for (std::size_t k = blk;
+                     k < r.swap_mask.size() && r.swap_mask[k] &&
+                     std::uint32_t(k) * B < r.rebuild_target;
+                     ++k) {
+                    tokens += std::min<std::uint32_t>(
+                        B, r.rebuild_target - std::uint32_t(k) * B);
+                    ++blocks;
+                }
+                issueSwapIn(i, blocks, tokens);
+                return;
+            }
+            // Recompute up to the next swapped block (if any).
+            std::uint32_t limit = r.rebuild_target - r.rebuild_from;
+            for (std::size_t k = blk; k < r.swap_mask.size(); ++k)
+                if (r.swap_mask[k] &&
+                    std::uint32_t(k) * B > r.rebuild_from) {
+                    limit = std::uint32_t(k) * B - r.rebuild_from;
+                    break;
+                }
             const std::uint32_t chunk =
                 opt.policy == SchedPolicy::ChunkedInterleave
-                    ? std::min(chunkBudget(), r.recompute_left)
-                    : r.recompute_left;
-            if (!ensureKv(i, std::uint64_t(r.recompute_base) + chunk))
+                    ? std::min(chunkBudget(), limit)
+                    : limit;
+            if (!ensureKv(i, std::uint64_t(r.rebuild_from) + chunk))
                 return;
             r.cur_chunk = chunk;
-            r.cfg.seq_len = r.recompute_base + chunk;
+            r.cfg.seq_len = r.rebuild_from + chunk;
             r.token_start = eq.now();
             r.stream->setWorkClass(flash::WorkClass::Recompute);
             r.stream->startPrefillChunk(
-                chunk, r.recompute_base, /*last_chunk=*/false,
+                chunk, r.rebuild_from, /*last_chunk=*/false,
                 [&, i](const TokenStats &s) { onRecomputeDone(i, s); });
             return;
         }
@@ -609,6 +881,23 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             env.cfg = &r.cfg;
             r.stream = std::make_unique<DecodeStream>(env);
             r.stream->setKvView(llm::KvView{opt.kv_block_tokens});
+            // Prefix sharing: map the tree's cached leading blocks
+            // into this request's table (refcounted — the tree keeps
+            // its own ref) and skip their prefill. Only whole blocks
+            // strictly inside the prompt qualify, so the last chunk
+            // still runs and emits the first token.
+            if (opt.kv_prefix_sharing && spec.prefix_id != 0 &&
+                spec.context == 0 && spec.prompt >= 2) {
+                const std::uint32_t B = pool.blockTokens();
+                const std::uint32_t shareable =
+                    std::min(spec.prefix_tokens, spec.prompt - 1);
+                const std::size_t hit = tree.match(
+                    spec.prefix_id, shareable / B, r.kv.blocks);
+                if (hit > 0) {
+                    r.prefill_done = std::uint32_t(hit) * B;
+                    r.stats.prefix_reused_tokens = r.prefill_done;
+                }
+            }
             r.admitted = true;
             ++active;
             started.push_back(i);
@@ -638,6 +927,47 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         }
     };
 
+    // Grow the FCFS resume-queue head to its full final reservation.
+    // With the KV-reuse knobs on, the head can be blocked by capacity
+    // that is only conditionally useful: cold prefix-cache blocks
+    // nobody maps, and head blocks that *younger* preempted victims
+    // kept through partial eviction. The head is older and resumes
+    // first, so when nothing active remains to free blocks, those
+    // keeps are worthless — reclaim them (the younger victims fall
+    // back to a full rebuild by recompute) rather than deadlock. With
+    // every knob off this is exactly the legacy tryGrow.
+    const auto growForResume = [&](std::size_t i) {
+        ReqRun &r = runs[i];
+        const std::uint64_t tokens = finalKvTokens(r.spec);
+        if (pool.tryGrow(r.kv, tokens))
+            return true;
+        if (opt.kv_prefix_sharing) {
+            const std::uint64_t shortfall =
+                pool.blocksForTokens(tokens) - r.kv.blocks.size() -
+                pool.freeBlocks();
+            if (tree.dropCold(shortfall) > 0 &&
+                pool.tryGrow(r.kv, tokens))
+                return true;
+        }
+        if (opt.kv_partial_evict && active == 0) {
+            for (std::size_t j = runs.size(); j-- > i + 1;) {
+                ReqRun &q = runs[j];
+                if (!q.preempted || q.kv.blocks.empty())
+                    continue;
+                for (std::uint32_t b : q.kv.blocks)
+                    pool.releaseBlock(b);
+                q.kv.blocks.clear();
+                // The kept head tokens now rebuild like everything
+                // else; they were never swapped, so they recompute.
+                q.recompute_pending += q.rebuild_from;
+                q.rebuild_from = 0;
+                if (pool.tryGrow(r.kv, tokens))
+                    return true;
+            }
+        }
+        return false;
+    };
+
     onFree = [&] {
         // 1. Stalled running requests retry first (they hold blocks
         //    and are mid-request — decode priority), arrival order.
@@ -656,7 +986,7 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
             ReqRun &r = runs[i];
             if (!r.preempted)
                 continue;
-            if (!pool.tryGrow(r.kv, finalKvTokens(r.spec)))
+            if (!growForResume(i))
                 break;
             r.preempted = false;
             r.resumed = true;
@@ -673,6 +1003,41 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
         admit();
     };
 
+    // Swap-in completions: count a whole block run restored only when
+    // its last page lands, bill the span as KV-blocked time (it is
+    // pool-management wait, not NPU service — so TTFT/TBT see it at
+    // the run's extrapolation factor, like any other KV stall), and
+    // let the owner continue its rebuild.
+    onSwapCompletion = [&](const flash::Completion &c) {
+        if (c.kind != flash::Completion::Kind::ReadData)
+            return;
+        auto it = swap_inflight.find(c.op_id);
+        CAMLLM_ASSERT(it != swap_inflight.end(),
+                      "swap completion for unknown op %llu",
+                      (unsigned long long)c.op_id);
+        SwapIn &sw = it->second;
+        CAMLLM_ASSERT(sw.remaining >= c.bytes);
+        sw.remaining -= c.bytes;
+        if (sw.remaining > 0)
+            return;
+        const SwapIn done = sw;
+        swap_inflight.erase(it);
+        ReqRun &r = runs[done.run];
+        // A run killed mid-swap-in already freed its quota at issue;
+        // the late data is simply dropped.
+        if (r.finished)
+            return;
+        r.rebuild_from += done.tokens;
+        CAMLLM_ASSERT(r.rebuild_from <= r.rebuild_target);
+        r.stats.swapped_in_blocks += done.blocks;
+        total_swap_in_blocks += done.blocks;
+        const Tick span = eq.now() - done.start;
+        r.stats.kv_blocked_time += span;
+        if (!r.first_emitted)
+            r.blocked_pre_ft += span;
+        startNext(done.run);
+    };
+
     // Deadlines and user cancellations are pre-scheduled (the trace
     // is known): a fired event on a finished run is a no-op. With
     // neither armed and no faults, nothing extra enters the queue and
@@ -680,7 +1045,11 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
     // scheduler; when extras ARE armed, trailing no-op events would
     // inflate eq.now(), so the makespan falls back to the tracked
     // last-request-exit horizon.
-    bool timeline_clean = !faults.any() && opt.request_deadline == 0;
+    // kv_swap also dirties the timeline: fire-and-forget swap-out
+    // write grants drain at Low priority after the last request exit
+    // and would inflate eq.now().
+    bool timeline_clean = !faults.any() &&
+                          opt.request_deadline == 0 && !opt.kv_swap;
     for (std::size_t i = 0; i < requests.size(); ++i) {
         if (opt.request_deadline > 0)
             eq.schedule(requests[i].arrival + opt.request_deadline,
@@ -706,11 +1075,25 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
                   "rejected != %zu requests",
                   (unsigned long long)completed, n_shed, n_timeouts,
                   n_cancelled, n_rejected, runs.size());
-    // Drain audit: every retire released its whole block table.
+    // Drain audit: every retire released its whole block table, the
+    // prefix cache returns its refs, every outstanding ref is gone
+    // (leakedBlocks alone would miss a leaked extra ref on a shared
+    // block), every swap-in landed and the flash KV region is empty.
+    tree.releaseAll();
     CAMLLM_ASSERT(pool.leakedBlocks() == 0,
                   "%llu KV blocks leaked at drain",
                   (unsigned long long)pool.leakedBlocks());
+    CAMLLM_ASSERT(pool.leakedRefs() == 0,
+                  "%llu KV block refs leaked at drain",
+                  (unsigned long long)pool.leakedRefs());
     CAMLLM_ASSERT(pool.allocCount() == pool.freeCount());
+    CAMLLM_ASSERT(swap_inflight.empty(),
+                  "%zu swap-in ops never completed",
+                  swap_inflight.size());
+    if (opt.kv_swap)
+        CAMLLM_ASSERT(fs.kvSwapLivePages() == 0,
+                      "%llu flash KV pages still live at drain",
+                      (unsigned long long)fs.kvSwapLivePages());
 
     ServeStats out;
     out.max_batch = opt.max_batch;
@@ -820,6 +1203,17 @@ Scheduler::serve(const std::vector<ServeRequest> &requests,
 
     out.preemptions = total_preemptions;
     out.recompute_tokens = total_recompute_tokens;
+    out.partial_evictions = total_partial_evictions;
+    out.swap_out_blocks = total_swap_out_blocks;
+    out.swap_in_blocks = total_swap_in_blocks;
+    out.swap_refused_blocks = total_swap_refused_blocks;
+    out.kv_swap_channel_bytes =
+        opt.kv_swap ? fs.kvSwapChannelBytes() : 0;
+    out.prefix_hit_blocks = tree.hitBlocks();
+    out.prefix_hit_tokens =
+        tree.hitBlocks() * std::uint64_t(pool.blockTokens());
+    out.prefix_inserted_blocks = tree.insertedBlocks();
+    out.prefix_dropped_blocks = tree.droppedBlocks();
     out.kv_blocks_total = pool.bounded() ? pool.totalBlocks() : 0;
     out.kv_blocks_high_water = pool.highWaterBlocks();
     out.kv_block_allocs = pool.allocCount();

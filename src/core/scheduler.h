@@ -43,6 +43,18 @@
  * schedule stays livelock-free. With an unbounded budget every
  * capacity effect is off and the event sequence replays the
  * pre-paging scheduler bit-identically.
+ *
+ * Evicted KV is reusable, not disposable (all off by default):
+ *  - kv_swap streams evicted blocks out to a reserved flash KV region
+ *    (WorkClass::KvSwap, wear-counted programs) and back on resume,
+ *    chosen per block by a recompute-vs-swap cost model — eviction
+ *    and resume are block-granular, so one table can mix swapped-in
+ *    and recomputed ranges.
+ *  - kv_partial_evict sheds only the victim's coldest tail blocks,
+ *    shrinking the rebuild bill relative to whole-table eviction.
+ *  - kv_prefix_sharing maps a shared system prompt's cached KV blocks
+ *    into new tables through a radix tree over KvPool refcounts, so
+ *    concurrent users per GB rises with prompt overlap.
  */
 
 #ifndef CAMLLM_CORE_SCHEDULER_H
@@ -129,6 +141,49 @@ struct SchedOptions
      */
     std::uint32_t kv_block_tokens = 0;
 
+    // --- KV reuse (all off by default: with the three knobs off every
+    //     event sequence replays the evict-and-recompute scheduler
+    //     bit-identically; enforced by tests and the CI byte diffs) ----
+    /**
+     * Swap evicted KV blocks out over the flash channels instead of
+     * recomputing them, when the per-block cost model favors it:
+     * recompute costs the block's tokens at the measured prefill rate
+     * (NPU MACs + contention, via the admission EMA; an NPU-bound
+     * MAC estimate before the first sample), swap costs the block's
+     * full-depth bytes twice (out now, back on resume) across the
+     * alive channel buses at their current occupancy. Swapped blocks
+     * program a reserved flash KV region (wear-counted) and stream
+     * back under WorkClass::KvSwap on resume; a full region falls
+     * back to recompute. Requires a bounded pool.
+     */
+    bool kv_swap = false;
+
+    /** Flash bytes reserved for swapped KV (kv_swap only; 0 = all
+     *  the free flash left after the resident weights). */
+    std::uint64_t kv_swap_flash_bytes = 0;
+
+    /**
+     * Partial (vLLM-style) eviction: release only the victim's
+     * coldest tail blocks — last-touch position order, which for an
+     * autoregressive KV stream is the tail — until the stalled
+     * requester's shortfall is covered, instead of dropping the whole
+     * table. The kept head blocks never rebuild; only the shed range
+     * recomputes (or swaps back) on resume.
+     */
+    bool kv_partial_evict = false;
+
+    /**
+     * Prefix sharing: a radix tree over prompt prefixes maps the
+     * cached KV blocks of a shared leading prompt
+     * (ServeRequest::prefix_id/prefix_tokens) into new tables via
+     * KvPool::retain, so requests sharing a system prompt skip
+     * re-prefilling it. Whole blocks strictly inside the prompt
+     * share; eviction respects refcounts (a shared block survives
+     * until every table and the cache release it). Requires
+     * kv_block_tokens >= 1.
+     */
+    bool kv_prefix_sharing = false;
+
     // --- resilience ----------------------------------------------------
     /**
      * Per-request completion deadline measured from arrival, in sim
@@ -213,8 +268,16 @@ struct ServeRequestStats
     Tick recompute_time = 0;
     std::uint32_t recompute_chunks = 0;
 
-    /** Sim ticks spent stalled or evicted waiting for KV blocks. */
+    /** Sim ticks spent stalled or evicted waiting for KV blocks
+     *  (swap-in streaming counts here — it is KV-restore wait). */
     Tick kv_blocked_time = 0;
+
+    /** KV blocks streamed back from flash instead of recomputed. */
+    std::uint32_t swapped_in_blocks = 0;
+
+    /** Prompt tokens skipped at admission because the prefix tree
+     *  mapped their cached KV blocks into this request's table. */
+    std::uint32_t prefix_reused_tokens = 0;
 };
 
 /** Distribution summary of a latency metric (milliseconds). */
@@ -274,6 +337,19 @@ struct ServeStats
     std::uint64_t kv_blocks_high_water = 0;
     std::uint64_t kv_block_allocs = 0;
     std::uint64_t kv_block_frees = 0;    ///< == allocs after drain audit
+
+    // --- KV reuse (zero unless kv_swap / kv_partial_evict /
+    //     kv_prefix_sharing are on) -------------------------------------
+    std::uint32_t partial_evictions = 0; ///< evictions that kept head blocks
+    std::uint64_t swap_out_blocks = 0;   ///< evicted blocks written to flash
+    std::uint64_t swap_in_blocks = 0;    ///< blocks streamed back on resume
+    std::uint64_t swap_refused_blocks = 0; ///< region full → recompute
+    std::uint64_t kv_swap_channel_bytes = 0; ///< swap in+out bus traffic
+
+    std::uint64_t prefix_hit_blocks = 0;     ///< blocks mapped from the tree
+    std::uint64_t prefix_hit_tokens = 0;     ///< prompt tokens never prefilled
+    std::uint64_t prefix_inserted_blocks = 0;///< blocks published to the tree
+    std::uint64_t prefix_dropped_blocks = 0; ///< cold cache blocks shed
 
     // --- resilience (all zero on a fault-free, deadline-free run) ------
     /** Requests that entered a serving slot. */

@@ -87,7 +87,7 @@ class SweepCache
  * sweep key, so a persisted cache written by an older simulator
  * misses instead of replaying stale results.
  */
-inline constexpr std::uint64_t kSweepCacheVersion = 3;
+inline constexpr std::uint64_t kSweepCacheVersion = 4;
 
 /** Memo key of one sweep point. @p knob distinguishes points whose
  *  variation lives outside the config struct (prompt length, forced

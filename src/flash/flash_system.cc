@@ -321,6 +321,74 @@ FlashSystem::onRefreshCompletion(const Completion &c)
                                  "refresh-write");
 }
 
+void
+FlashSystem::enableKvSwap(std::uint64_t model_weight_bytes,
+                          std::uint64_t reserve_bytes)
+{
+    CAMLLM_ASSERT(!kv_swap_enabled_, "KV swap armed twice");
+    if (!placement_) {
+        // No fault spec built a placement map; KV swap needs one for
+        // quota and wear. Seed the resident weights first so the KV
+        // region is carved from what a loaded device actually has
+        // free.
+        placement_ = std::make_unique<WeightPlacement>(params_.geometry);
+        if (model_weight_bytes > 0) {
+            const std::uint64_t pages =
+                (model_weight_bytes + params_.geometry.page_bytes - 1) /
+                params_.geometry.page_bytes;
+            placement_->seedStriped(pages);
+        }
+    }
+    const std::uint64_t page = params_.geometry.page_bytes;
+    std::uint64_t pages = reserve_bytes == 0
+                              ? placement_->freePages()
+                              : (reserve_bytes + page - 1) / page;
+    pages = std::min(pages, placement_->freePages());
+    placement_->reserveKvRegion(pages);
+    kv_swap_enabled_ = true;
+}
+
+bool
+FlashSystem::kvSwapOut(std::uint64_t full_bytes, std::uint64_t sim_bytes)
+{
+    CAMLLM_ASSERT(kv_swap_enabled_);
+    const std::uint64_t page = params_.geometry.page_bytes;
+    const std::uint64_t pages = (full_bytes + page - 1) / page;
+    if (!placement_->kvProgram(pages))
+        return false;
+    // The write-out occupies the channel buses like remap/refresh
+    // rebuild traffic: bulk low-priority grants, page-sized,
+    // round-robin over the alive channels. Only the sampled-layer
+    // share crosses the sim clock — the same depth convention every
+    // other transfer in the run follows.
+    kv_swap_write_bytes_ += sim_bytes;
+    const std::uint32_t n = channelCount();
+    std::uint64_t left = sim_bytes;
+    while (left > 0) {
+        const std::uint64_t b = std::min<std::uint64_t>(page, left);
+        left -= b;
+        const std::uint32_t c = route(kv_swap_rr_ % n);
+        kv_swap_rr_ = (kv_swap_rr_ + 1) % n;
+        channels_[c]->bus().request(BusPriority::Low, b, [] {},
+                                    "kv-swap-out");
+    }
+    return true;
+}
+
+void
+FlashSystem::kvSwapFree(std::uint64_t full_bytes)
+{
+    CAMLLM_ASSERT(kv_swap_enabled_);
+    const std::uint64_t page = params_.geometry.page_bytes;
+    placement_->kvFree((full_bytes + page - 1) / page);
+}
+
+std::uint64_t
+FlashSystem::kvSwapLivePages() const
+{
+    return placement_ ? placement_->kvLivePages() : 0;
+}
+
 double
 FlashSystem::wearSpreadPe() const
 {

@@ -163,6 +163,46 @@ class FlashSystem
     double wearMeanPe() const;
     double wearMaxPe() const;
 
+    // --- KV swap ---------------------------------------------------------
+    /**
+     * Arm KV swap-to-flash: reserve @p reserve_bytes of free flash
+     * capacity (0 = everything left) as the KV region. When no fault
+     * spec built a placement map, one is created here and seeded with
+     * the resident weight image (@p model_weight_bytes, so the region
+     * honestly competes with the weights for capacity). Call once,
+     * before the simulation starts; never armed means every swap path
+     * below is dead code and the event sequence is untouched.
+     */
+    void enableKvSwap(std::uint64_t model_weight_bytes,
+                      std::uint64_t reserve_bytes);
+
+    bool kvSwapEnabled() const { return kv_swap_enabled_; }
+
+    /**
+     * Swap one evicted KV block out: program @p full_bytes of KV
+     * (full model depth) into the region's quota — false when the
+     * region is full, and the caller recomputes instead — then charge
+     * @p sim_bytes of write traffic (sampled-layer clock share) over
+     * the alive channel buses as low-priority grants, round-robin.
+     */
+    bool kvSwapOut(std::uint64_t full_bytes, std::uint64_t sim_bytes);
+
+    /** Swap-in landed (or its owner died): free the block's quota. */
+    void kvSwapFree(std::uint64_t full_bytes);
+
+    /** Pages currently held by swapped-out KV. */
+    std::uint64_t kvSwapLivePages() const;
+
+    /** Swap-out write bytes charged to the channel buses. */
+    std::uint64_t kvSwapWriteBytes() const { return kv_swap_write_bytes_; }
+
+    /** Total swap bus traffic: swap-in payload plus swap-out writes. */
+    std::uint64_t
+    kvSwapChannelBytes() const
+    {
+        return deliveredBytes(WorkClass::KvSwap) + kv_swap_write_bytes_;
+    }
+
   private:
     /** Redirect a dead channel's submissions across the survivors. */
     std::uint32_t route(std::uint32_t ch);
@@ -194,6 +234,10 @@ class FlashSystem
      *  fires while this many ops are still in flight defers instead
      *  of stacking more work onto a saturated die/bus. */
     static constexpr std::uint64_t kMaxRefreshInFlight = 1;
+
+    bool kv_swap_enabled_ = false;
+    std::uint32_t kv_swap_rr_ = 0; ///< swap-out write channel cursor
+    std::uint64_t kv_swap_write_bytes_ = 0;
 
     ClientId refresh_client_ = 0;
     bool refresh_armed_ = false;

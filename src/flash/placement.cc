@@ -225,6 +225,63 @@ WeightPlacement::remapChannel(std::uint32_t channel)
     return moved;
 }
 
+void
+WeightPlacement::reserveKvRegion(std::uint64_t pages)
+{
+    CAMLLM_ASSERT(kv_region_pages_ == 0,
+                  "KV-swap region reserved twice");
+    CAMLLM_ASSERT(pages >= 1);
+    if (pages > freePages())
+        fatal("KV-swap region of %llu pages exceeds the %llu free "
+              "flash pages",
+              (unsigned long long)pages,
+              (unsigned long long)freePages());
+    kv_region_pages_ = pages;
+}
+
+bool
+WeightPlacement::kvProgram(std::uint64_t pages)
+{
+    CAMLLM_ASSERT(kv_region_pages_ > 0, "no KV-swap region reserved");
+    if (kv_live_pages_ + pages > kv_region_pages_)
+        return false;
+    kv_live_pages_ += pages;
+    // Swapped KV is transient: it occupies quota, not the resident
+    // weight map (next_page_), so remap/refresh never chase it. Its
+    // program wear is real, though, and lands plane by plane under
+    // the active policy.
+    for (std::uint64_t p = 0; p < pages; ++p) {
+        std::size_t dst = planeCount();
+        if (policy_ == WearPolicy::LeastWorn) {
+            dst = leastWornPlane();
+        } else {
+            const std::size_t n = planeCount();
+            for (std::size_t probe = 0; probe < n; ++probe) {
+                const std::size_t i = (kv_rr_cursor_ + probe) % n;
+                if (!channel_dead_[planeChannel(i)]) {
+                    dst = i;
+                    kv_rr_cursor_ = i + 1;
+                    break;
+                }
+            }
+        }
+        CAMLLM_ASSERT(dst != planeCount(),
+                      "KV swap-out with every channel dead");
+        ++programs_[dst];
+    }
+    return true;
+}
+
+void
+WeightPlacement::kvFree(std::uint64_t pages)
+{
+    CAMLLM_ASSERT(pages <= kv_live_pages_,
+                  "freeing %llu KV pages of %llu live",
+                  (unsigned long long)pages,
+                  (unsigned long long)kv_live_pages_);
+    kv_live_pages_ -= pages;
+}
+
 double
 WeightPlacement::occupancy() const
 {

@@ -88,6 +88,31 @@ class WeightPlacement
         return channel_dead_[channel];
     }
 
+    // --- reserved KV-swap region ---------------------------------------
+    /**
+     * Carve @p pages out of the device's remaining free capacity as
+     * the KV-swap region. Swapped-out KV blocks program into this
+     * quota (wear-counted like any other write) and free their pages
+     * again when streamed back in. Fatal when the region does not fit
+     * the free space; call once.
+     */
+    void reserveKvRegion(std::uint64_t pages);
+
+    std::uint64_t kvRegionPages() const { return kv_region_pages_; }
+    std::uint64_t kvLivePages() const { return kv_live_pages_; }
+
+    /**
+     * Program @p pages of swapped-out KV into the region: quota is
+     * checked first (false = region full, caller falls back to
+     * recompute), then each page's program wear lands on a plane
+     * chosen by the wear policy — round-robin over alive planes under
+     * Bump, the least-worn alive plane under LeastWorn.
+     */
+    bool kvProgram(std::uint64_t pages);
+
+    /** Swapped-in (or discarded) KV: return @p pages to the region. */
+    void kvFree(std::uint64_t pages);
+
     std::uint64_t pagesAllocated() const { return allocated_; }
 
     /** Device capacity excluding retired (dead-channel) planes. */
@@ -183,6 +208,10 @@ class WeightPlacement
     std::uint64_t rr_cursor_ = 0;
     std::uint64_t retired_pages_ = 0;
     std::uint32_t pages_per_plane_;
+
+    std::uint64_t kv_region_pages_ = 0; ///< reserved KV-swap quota
+    std::uint64_t kv_live_pages_ = 0;   ///< swapped-out pages resident
+    std::uint64_t kv_rr_cursor_ = 0;    ///< Bump-policy program cursor
 
     WearPolicy policy_ = WearPolicy::Bump;
     std::vector<std::uint64_t> programs_;  ///< programs this run

@@ -47,10 +47,18 @@ enum class WorkClass : std::uint8_t
      *  reads through the same channel queues; billing them here keeps
      *  the serving classes honest while making the refresh bandwidth
      *  bill visible. */
-    Refresh = 4
+    Refresh = 4,
+
+    /** KV swap traffic: evicted KV blocks streamed out to the flash
+     *  KV region (write-backs charged directly to the channel bus)
+     *  and streamed back in on resume instead of being recomputed.
+     *  Swap trades channel bandwidth for NPU prefill time, so its
+     *  bytes must stay apart from the weight-streaming classes for
+     *  the trade to be measurable. */
+    KvSwap = 5
 };
 
-inline constexpr std::size_t kWorkClasses = 5;
+inline constexpr std::size_t kWorkClasses = 6;
 
 /**
  * One atomic tile of a read-compute request, i.e.\ the single weight

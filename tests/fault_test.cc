@@ -410,6 +410,26 @@ TEST(FaultServing, SloShedNewestTurnsAwayLateArrivals)
     EXPECT_EQ(st.requests[3].outcome, RequestOutcome::ShedSlo);
 }
 
+// Cold-start pin: projectedTtftMs must admit when no prefill chunk
+// has ever finished — the EMA is empty and there is no measured rate
+// to project from. A whole burst at t = 0 that fits the batch limit
+// therefore admits in full even under an absurdly tight SLO; shedding
+// any of it would be shedding blind.
+TEST(FaultServing, ColdStartBurstNeverShedsOnEmptyEma)
+{
+    const Scheduler sched(core::presetS(), llm::opt6_7b());
+    const std::vector<ServeRequest> reqs = {
+        {128, 0, 2, 0}, {128, 0, 2, 0}, {128, 0, 2, 0}, {128, 0, 2, 0}};
+    SchedOptions opt = chunkedOpts();
+    opt.max_batch = 4; // the whole burst fits: all admit cold
+    opt.slo_ttft_ms = 0.001;
+    opt.degrade = DegradePolicy::ShedNewest;
+    const ServeStats st = sched.serve(reqs, opt);
+    EXPECT_EQ(st.shed_slo, 0u);
+    EXPECT_EQ(st.completed, 4u);
+    expectBalanced(st, 4);
+}
+
 TEST(FaultServing, ProportionalSlowdownAdmitsEveryoneWithSmallerChunks)
 {
     const Scheduler sched(core::presetS(), llm::opt6_7b());

@@ -103,6 +103,95 @@ TEST(KvPool, RefcountSharingKeepsBlockAlive)
     EXPECT_EQ(pool.leakedBlocks(), 0u);
 }
 
+// Regression: leakedBlocks() is a *block* count, so a block still
+// shared at refcount N after drain reports as one leak no matter how
+// many references are actually outstanding — and historically a
+// shared block released only once slipped past audits that compared
+// alloc/free block counters alone. leakedRefs() counts every
+// outstanding reference exactly.
+TEST(KvPool, LeakAuditCountsOutstandingRefs)
+{
+    KvPool pool(8 * 64, 4, 64);
+    KvBlockTable t;
+    ASSERT_TRUE(pool.tryGrow(t, 4));
+    const std::uint32_t b = t.blocks[0];
+    pool.retain(b); // three refs total
+    pool.retain(b);
+    EXPECT_EQ(pool.refCount(b), 3u);
+    EXPECT_EQ(pool.leakedRefs(), 3u);
+
+    pool.release(t); // the table's own ref goes
+    // The undercount being pinned: one block leaked, two refs.
+    EXPECT_EQ(pool.leakedBlocks(), 1u);
+    EXPECT_EQ(pool.leakedRefs(), 2u);
+
+    pool.releaseBlock(b);
+    EXPECT_EQ(pool.leakedBlocks(), 1u); // still understates
+    EXPECT_EQ(pool.leakedRefs(), 1u);
+    pool.releaseBlock(b);
+    EXPECT_EQ(pool.leakedBlocks(), 0u);
+    EXPECT_EQ(pool.leakedRefs(), 0u);
+    EXPECT_EQ(pool.allocCount(), pool.freeCount());
+}
+
+// Zero-token edges: covering zero tokens needs zero blocks, growing
+// to zero coverage is a successful no-op, and refCount on a
+// never-allocated id is 0 rather than a crash.
+TEST(KvPool, ZeroTokenEdges)
+{
+    KvPool pool(8 * 64, 4, 64);
+    EXPECT_EQ(pool.blocksForTokens(0), 0u);
+    KvBlockTable t;
+    EXPECT_TRUE(pool.canGrow(t, 0));
+    EXPECT_TRUE(pool.tryGrow(t, 0));
+    EXPECT_TRUE(t.empty());
+    EXPECT_EQ(pool.blocksInUse(), 0u);
+    EXPECT_EQ(pool.refCount(0), 0u);
+    EXPECT_EQ(pool.refCount(12345), 0u);
+    // A populated table also tolerates a zero-coverage "grow".
+    ASSERT_TRUE(pool.tryGrow(t, 4));
+    EXPECT_TRUE(pool.tryGrow(t, 0));
+    EXPECT_EQ(t.blocks.size(), 1u);
+    pool.release(t);
+    EXPECT_EQ(pool.leakedRefs(), 0u);
+}
+
+// One block mapped into three tables: releases in any order keep the
+// block alive until the last reference drops, the LIFO free list
+// hands it back deterministically, and every counter balances.
+TEST(KvPool, MultiTableRetainReleaseBalances)
+{
+    KvPool pool(8 * 64, 4, 64);
+    KvBlockTable a, b, c;
+    ASSERT_TRUE(pool.tryGrow(a, 8)); // 2 blocks
+    const std::uint32_t shared = a.blocks[0];
+    pool.retain(shared);
+    b.blocks.push_back(shared);
+    pool.retain(shared);
+    c.blocks.push_back(shared);
+    EXPECT_EQ(pool.refCount(shared), 3u);
+    EXPECT_EQ(pool.blocksInUse(), 2u); // refs don't inflate usage
+    EXPECT_EQ(pool.allocCount(), 2u);  // nor the alloc counter
+
+    pool.release(b); // middle holder first
+    EXPECT_EQ(pool.refCount(shared), 2u);
+    pool.release(a); // the allocating table next
+    EXPECT_EQ(pool.refCount(shared), 1u);
+    EXPECT_EQ(pool.blocksInUse(), 1u); // c still holds it
+    pool.release(c);
+    EXPECT_EQ(pool.refCount(shared), 0u);
+    EXPECT_EQ(pool.blocksInUse(), 0u);
+    EXPECT_EQ(pool.allocCount(), pool.freeCount());
+    EXPECT_EQ(pool.leakedBlocks(), 0u);
+    EXPECT_EQ(pool.leakedRefs(), 0u);
+
+    // The freed shared block is reusable immediately.
+    KvBlockTable d;
+    ASSERT_TRUE(pool.tryGrow(d, 4));
+    EXPECT_EQ(pool.refCount(d.blocks[0]), 1u);
+    pool.release(d);
+}
+
 TEST(KvPool, DoubleFreeDies)
 {
     KvPool pool(8 * 64, 4, 64);
@@ -415,6 +504,37 @@ TEST(KvServing, ShrinkingBudgetMonotonicity)
     EXPECT_GT(stats.back().preemptions, 0u);
     EXPECT_GT(stats.back().ttft.p95_ms,
               stats.front().ttft.p95_ms * 1.5);
+}
+
+// Admission edge: the smallest admissible request — a one-token
+// prompt with no warm context — reserves one block, prefills one
+// token, emits it and retires cleanly. With prefix sharing armed the
+// prompt is too short to share (whole blocks strictly inside the
+// prompt), so the tags must be harmless too.
+TEST(KvServing, OneTokenPromptZeroContextServes)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    const Scheduler sched(cfg, model);
+    std::vector<ServeRequest> reqs = {{1, 0, 1, 0}};
+    SchedOptions opt;
+    opt.max_batch = 1;
+    opt.kv_block_tokens = 16;
+    opt.kv_budget_bytes = 4 * 16 * tokenKvBytes(model);
+    const ServeStats s = sched.serve(reqs, opt);
+    EXPECT_EQ(s.completed, 1u);
+    EXPECT_EQ(s.requests[0].tokens_emitted, 2u); // first + 1 decode
+    EXPECT_GT(s.requests[0].ttft_ms, 0.0);
+    EXPECT_EQ(s.kv_block_allocs, s.kv_block_frees);
+
+    reqs[0].prefix_id = 3;
+    reqs[0].prefix_tokens = 1;
+    opt.kv_prefix_sharing = true;
+    const ServeStats t = sched.serve(reqs, opt);
+    EXPECT_EQ(t.completed, 1u);
+    EXPECT_EQ(t.prefix_hit_blocks, 0u);
+    EXPECT_EQ(t.prefix_inserted_blocks, 0u);
+    EXPECT_EQ(t.requests[0].prefix_reused_tokens, 0u);
 }
 
 // Preemption decisions live entirely on the deterministic event

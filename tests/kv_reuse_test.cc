@@ -1,0 +1,293 @@
+/**
+ * @file
+ * KV reuse across evictions: swap-to-flash, partial eviction and
+ * prefix sharing. Every knob must be inert when off (bit-identical
+ * replay of the recompute-only scheduler), measurably useful when on
+ * (fewer recomputed tokens, fewer fresh block allocations), and
+ * deterministic across sweep-thread counts. Pressure scenarios run
+ * the presetS / OPT-6.7B pair, as scheduler_test and kv_pool_test.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/arrivals.h"
+#include "core/kv_pool.h"
+#include "core/presets.h"
+#include "core/scheduler.h"
+#include "core/sweep.h"
+#include "llm/model_config.h"
+
+namespace camllm::core {
+namespace {
+
+std::uint64_t
+tokenKvBytes(const llm::ModelConfig &m)
+{
+    return std::uint64_t(m.kvDim()) * m.n_layers;
+}
+
+void
+expectSameServe(const ServeStats &a, const ServeStats &b)
+{
+    EXPECT_EQ(a.sim_makespan, b.sim_makespan);
+    EXPECT_EQ(a.total_tokens, b.total_tokens);
+    EXPECT_EQ(a.preemptions, b.preemptions);
+    EXPECT_EQ(a.recompute_tokens, b.recompute_tokens);
+    EXPECT_EQ(a.swap_out_blocks, b.swap_out_blocks);
+    EXPECT_EQ(a.swap_in_blocks, b.swap_in_blocks);
+    EXPECT_EQ(a.prefix_hit_blocks, b.prefix_hit_blocks);
+    EXPECT_EQ(a.kv_block_allocs, b.kv_block_allocs);
+    ASSERT_EQ(a.requests.size(), b.requests.size());
+    for (std::size_t i = 0; i < a.requests.size(); ++i) {
+        EXPECT_EQ(a.requests[i].admit_tick, b.requests[i].admit_tick)
+            << i;
+        EXPECT_EQ(a.requests[i].first_token_tick,
+                  b.requests[i].first_token_tick)
+            << i;
+        EXPECT_EQ(a.requests[i].finish_tick,
+                  b.requests[i].finish_tick)
+            << i;
+        EXPECT_EQ(a.requests[i].prefill_time,
+                  b.requests[i].prefill_time)
+            << i;
+        EXPECT_EQ(a.requests[i].total_token_time,
+                  b.requests[i].total_token_time)
+            << i;
+    }
+}
+
+// The kv_pool_test pressure scenario: two decode-heavy requests whose
+// combined final demand (2 x 6 blocks) exceeds an 8-block pool, so
+// the younger one is evicted and must rebuild.
+std::vector<ServeRequest>
+pressureRequests()
+{
+    return {{0, 64, 24, 0}, {0, 64, 24, 0}};
+}
+
+SchedOptions
+pressureOpts(const llm::ModelConfig &model)
+{
+    SchedOptions opt;
+    opt.max_batch = 2;
+    opt.kv_block_tokens = 16;
+    opt.kv_budget_bytes = 8 * 16 * tokenKvBytes(model);
+    return opt;
+}
+
+// With every reuse knob off, tagging requests with prefix-sharing
+// fields must be dead weight: the serve replays bit-identically.
+TEST(KvReuse, PrefixFieldsInertWhenSharingOff)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    const Scheduler sched(cfg, model);
+    std::vector<ServeRequest> plain = {{48, 0, 4, 0},
+                                       {48, 0, 4, 0},
+                                       {48, 0, 4, 0}};
+    std::vector<ServeRequest> tagged = plain;
+    for (ServeRequest &r : tagged) {
+        r.prefix_id = 7;
+        r.prefix_tokens = 32;
+    }
+    SchedOptions opt;
+    opt.max_batch = 2;
+    opt.policy = SchedPolicy::ChunkedInterleave;
+    opt.prefill_chunk = 16;
+    opt.kv_block_tokens = 16;
+    opt.kv_budget_bytes = 12 * 16 * tokenKvBytes(model);
+    expectSameServe(sched.serve(plain, opt),
+                    sched.serve(tagged, opt));
+}
+
+// Swap-to-flash round trip: evicted blocks stream out over the
+// channels, stream back on resume, and the tokens they cover are
+// never recomputed. The flash KV region drains completely (the
+// scheduler's own audit aborts otherwise).
+TEST(KvReuse, SwapRoundTripReplacesRecompute)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    const Scheduler sched(cfg, model);
+    const std::vector<ServeRequest> reqs = pressureRequests();
+
+    const ServeStats base = sched.serve(reqs, pressureOpts(model));
+    ASSERT_GT(base.preemptions, 0u);
+    ASSERT_GT(base.recompute_tokens, 0u);
+    EXPECT_EQ(base.swap_out_blocks, 0u);
+    EXPECT_EQ(base.kv_swap_channel_bytes, 0u);
+
+    SchedOptions opt = pressureOpts(model);
+    opt.kv_swap = true;
+    const ServeStats s = sched.serve(reqs, opt);
+    EXPECT_EQ(s.completed, 2u);
+    EXPECT_GT(s.swap_out_blocks, 0u);
+    // Nothing killed the owner mid-rebuild, so every swapped block
+    // came back.
+    EXPECT_EQ(s.swap_in_blocks, s.swap_out_blocks);
+    EXPECT_GT(s.kv_swap_channel_bytes, 0u);
+    EXPECT_LT(s.recompute_tokens, base.recompute_tokens);
+    EXPECT_EQ(s.kv_block_allocs, s.kv_block_frees);
+    // Per-request: the evicted run saw blocks stream back.
+    std::uint64_t swapped_in = 0;
+    for (const ServeRequestStats &r : s.requests)
+        swapped_in += r.swapped_in_blocks;
+    EXPECT_EQ(swapped_in, s.swap_in_blocks);
+}
+
+// Partial eviction keeps the victim's warm head blocks, so the
+// rebuild covers strictly fewer tokens than a full eviction's.
+TEST(KvReuse, PartialEvictionShrinksRebuild)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    const Scheduler sched(cfg, model);
+    const std::vector<ServeRequest> reqs = pressureRequests();
+
+    const ServeStats full = sched.serve(reqs, pressureOpts(model));
+    ASSERT_GT(full.preemptions, 0u);
+    ASSERT_GT(full.recompute_tokens, 0u);
+    EXPECT_EQ(full.partial_evictions, 0u);
+
+    SchedOptions opt = pressureOpts(model);
+    opt.kv_partial_evict = true;
+    const ServeStats part = sched.serve(reqs, opt);
+    EXPECT_EQ(part.completed, 2u);
+    EXPECT_GT(part.partial_evictions, 0u);
+    EXPECT_LT(part.recompute_tokens, full.recompute_tokens);
+    EXPECT_EQ(part.kv_block_allocs, part.kv_block_frees);
+}
+
+// Prefix sharing maps cached blocks of a shared system prompt into
+// later requests' tables: fewer fresh allocations, real hits, and
+// the reused tokens are never prefilled again.
+TEST(KvReuse, PrefixSharingReducesAllocations)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    const Scheduler sched(cfg, model);
+    // Serial service (batch 1): every request after the first finds
+    // the whole shared prefix cached.
+    std::vector<ServeRequest> reqs = {{48, 0, 2, 0},
+                                      {48, 0, 2, 0},
+                                      {48, 0, 2, 0}};
+    for (ServeRequest &r : reqs) {
+        r.prefix_id = 1;
+        r.prefix_tokens = 32; // 2 blocks of 16
+    }
+    SchedOptions opt;
+    opt.max_batch = 1;
+    opt.policy = SchedPolicy::ChunkedInterleave;
+    opt.prefill_chunk = 16;
+    opt.kv_block_tokens = 16;
+    opt.kv_budget_bytes = 16 * 16 * tokenKvBytes(model);
+
+    const ServeStats off = sched.serve(reqs, opt);
+    EXPECT_EQ(off.prefix_hit_blocks, 0u);
+
+    opt.kv_prefix_sharing = true;
+    const ServeStats on = sched.serve(reqs, opt);
+    EXPECT_EQ(on.completed, 3u);
+    // Requests 2 and 3 each map the 2 cached prefix blocks.
+    EXPECT_EQ(on.prefix_hit_blocks, 4u);
+    EXPECT_EQ(on.prefix_hit_tokens, 64u);
+    EXPECT_GT(on.prefix_inserted_blocks, 0u);
+    EXPECT_EQ(on.kv_block_allocs + on.prefix_hit_blocks,
+              off.kv_block_allocs);
+    EXPECT_EQ(on.kv_block_allocs, on.kv_block_frees);
+    for (std::size_t i = 1; i < on.requests.size(); ++i)
+        EXPECT_EQ(on.requests[i].prefix_reused_tokens, 32u);
+    // Skipped prefill shows up as strictly less prefill service.
+    EXPECT_LT(on.requests[1].prefill_time,
+              off.requests[1].prefill_time);
+}
+
+// All three knobs together under real pressure, with shared blocks in
+// the eviction victim's table: shared blocks must stay resident for
+// the cache (they are never swapped out), the pool audits must stay
+// balanced, and everyone completes.
+TEST(KvReuse, CombinedKnobsUnderPressureStayBalanced)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    const Scheduler sched(cfg, model);
+    std::vector<ServeRequest> reqs = {{48, 0, 16, 0},
+                                      {48, 0, 16, 0},
+                                      {48, 0, 16, 0}};
+    for (ServeRequest &r : reqs) {
+        r.prefix_id = 9;
+        r.prefix_tokens = 32;
+    }
+    SchedOptions opt;
+    opt.max_batch = 3;
+    opt.policy = SchedPolicy::ChunkedInterleave;
+    opt.prefill_chunk = 16;
+    opt.kv_block_tokens = 16;
+    // 3 x blocksFor(64) = 12 blocks of final demand vs 9 available.
+    opt.kv_budget_bytes = 9 * 16 * tokenKvBytes(model);
+    opt.kv_swap = true;
+    opt.kv_partial_evict = true;
+    opt.kv_prefix_sharing = true;
+
+    const ServeStats s = sched.serve(reqs, opt);
+    EXPECT_EQ(s.completed, 3u);
+    EXPECT_GT(s.preemptions, 0u);
+    EXPECT_EQ(s.swap_in_blocks, s.swap_out_blocks);
+    EXPECT_EQ(s.kv_block_allocs, s.kv_block_frees);
+    EXPECT_LE(s.kv_blocks_high_water, s.kv_blocks_total);
+}
+
+// Every reuse decision lives on the deterministic event clock: the
+// all-knobs scenario must serve bit-identically no matter how many
+// sweep workers evaluate it.
+TEST(KvReuse, AllKnobsDeterministicAcrossSweepThreads)
+{
+    const CamConfig cfg = presetS();
+    const llm::ModelConfig model = llm::opt6_7b();
+    std::vector<ServeRequest> reqs = {{48, 0, 16, 0},
+                                      {48, 0, 16, 0},
+                                      {48, 0, 16, 0}};
+    for (ServeRequest &r : reqs) {
+        r.prefix_id = 9;
+        r.prefix_tokens = 32;
+    }
+    const auto runPoint = [&](std::size_t) {
+        SchedOptions opt;
+        opt.max_batch = 3;
+        opt.policy = SchedPolicy::ChunkedInterleave;
+        opt.prefill_chunk = 16;
+        opt.kv_block_tokens = 16;
+        opt.kv_budget_bytes =
+            9 * 16 * tokenKvBytes(llm::opt6_7b());
+        opt.kv_swap = true;
+        opt.kv_partial_evict = true;
+        opt.kv_prefix_sharing = true;
+        return Scheduler(cfg, model).serve(reqs, opt);
+    };
+    ParallelSweep one(1), four(4);
+    const auto a = one.map<ServeStats>(4, runPoint);
+    const auto b = four.map<ServeStats>(4, runPoint);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t p = 0; p < a.size(); ++p)
+        expectSameServe(a[p], b[p]);
+}
+
+// The tagged-trace helper stamps every request and clamps the prefix
+// to the prompt.
+TEST(KvReuse, WithSharedPrefixTagsEveryRequest)
+{
+    const std::vector<RequestShape> shapes = {{40, 2}, {8, 1}};
+    const ArrivalTrace t =
+        ArrivalTrace::poisson(1.0, 6, 3, shapes)
+            .withSharedPrefix(5, 32);
+    for (const ServeRequest &r : t.requests()) {
+        EXPECT_EQ(r.prefix_id, 5u);
+        EXPECT_EQ(r.prefix_tokens,
+                  std::min<std::uint32_t>(r.prompt, 32u));
+    }
+}
+
+} // namespace
+} // namespace camllm::core
